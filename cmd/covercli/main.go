@@ -1,0 +1,193 @@
+// Command covercli solves set cover instances with the streaming and
+// offline algorithms in this repository, reporting cover size, passes and
+// peak space.
+//
+// Usage:
+//
+//	covercli -in instance.sc -algo alg1 -alpha 3
+//	covercli -gen planted -n 8192 -m 1024 -opt 6 -algo progressive
+//	covercli -gen zipf -n 4096 -m 512 -algo greedy
+//
+// Algorithms: alg1 (the paper's Algorithm 1), progressive (threshold-decay
+// multi-pass greedy), storeall (buffer stream + offline greedy), greedy
+// (offline), exact (offline branch-and-bound).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamcover"
+	"streamcover/internal/baselines"
+	"streamcover/internal/core"
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+	"streamcover/internal/stream"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "instance file (text format); empty means -gen")
+		gen   = flag.String("gen", "planted", "generator: planted, uniform, zipf, clustered")
+		n     = flag.Int("n", 4096, "universe size (generators)")
+		m     = flag.Int("m", 512, "number of sets (generators)")
+		opt   = flag.Int("opt", 4, "planted optimum size (gen=planted)")
+		algo  = flag.String("algo", "alg1", "alg1, progressive, storeall, greedy, exact")
+		alpha = flag.Int("alpha", 2, "approximation parameter α (alg1)")
+		eps   = flag.Float64("eps", 0.5, "ε (alg1)")
+		order = flag.String("order", "adversarial", "arrival order: adversarial, random")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	// For files, the streaming algorithms consume the file pass by pass
+	// without materializing it (stream.FileStream); the in-memory instance
+	// is still loaded for stats and verification.
+	if *in != "" && *algo == "alg1" && *order == "adversarial" {
+		runFileStreaming(*in, *alpha, *eps, *seed)
+		return
+	}
+	inst, err := loadInstance(*in, *gen, *n, *m, *opt, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covercli: %v\n", err)
+		os.Exit(1)
+	}
+	st := streamcover.ComputeStats(inst)
+	fmt.Printf("instance: n=%d m=%d total=%d words, set sizes %d..%d (mean %.1f)\n",
+		st.N, st.M, st.TotalSize, st.MinSize, st.MaxSize, st.MeanSize)
+
+	ord := streamcover.Adversarial
+	if *order == "random" {
+		ord = streamcover.RandomOnce
+	}
+
+	switch *algo {
+	case "alg1":
+		res, err := streamcover.SolveSetCover(inst,
+			streamcover.WithAlpha(*alpha), streamcover.WithEpsilon(*eps),
+			streamcover.WithOrder(ord), streamcover.WithSeed(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("alg1(α=%d): %s\n", *alpha, res)
+		verify(inst, res.Cover)
+	case "progressive":
+		pg := baselines.NewProgressiveGreedy(inst.N, 2)
+		acc := drive(inst, pg, pg.MaxPasses(), ord, *seed)
+		cover, ok := pg.Result()
+		report("progressive(λ=2)", cover, ok, acc)
+		verify(inst, cover)
+	case "storeall":
+		sa := baselines.NewStoreAllGreedy(inst.N)
+		acc := drive(inst, sa, 2, ord, *seed)
+		cover, ok := sa.Result()
+		report("storeall", cover, ok, acc)
+		verify(inst, cover)
+	case "greedy":
+		cover, err := streamcover.GreedySetCover(inst)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("offline greedy: cover=%d sets\n", len(cover))
+		verify(inst, cover)
+	case "exact":
+		cover, err := streamcover.ExactSetCover(inst)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("offline exact: cover=%d sets (optimal)\n", len(cover))
+		verify(inst, cover)
+	default:
+		fmt.Fprintf(os.Stderr, "covercli: unknown -algo %q\n", *algo)
+		os.Exit(2)
+	}
+}
+
+// runFileStreaming drives Algorithm 1 directly over a file-backed stream:
+// each pass re-reads the file, so instances larger than memory work as
+// long as the algorithm's own footprint fits.
+func runFileStreaming(path string, alpha int, eps float64, seed uint64) {
+	fs, err := stream.OpenFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer fs.Close()
+	fmt.Printf("instance (file-streamed): n=%d m=%d\n", fs.Universe(), fs.Len())
+	cfg := core.Config{Alpha: alpha, Epsilon: eps}
+	solver := core.NewSolver(fs.Universe(), fs.Len(), cfg, rng.New(seed))
+	acc, err := stream.Run(fs, solver, cfg.MaxPasses()+1)
+	if err != nil {
+		fatal(err)
+	}
+	if serr := fs.Err(); serr != nil {
+		fatal(serr)
+	}
+	best, ok := solver.Best()
+	if !ok {
+		fmt.Println("alg1: infeasible (universe not coverable)")
+		os.Exit(1)
+	}
+	fmt.Printf("alg1(α=%d): cover=%d sets (guess %d), %d passes, %d words\n",
+		alpha, len(best.Cover), best.Guess, acc.Passes, acc.PeakSpace)
+}
+
+func loadInstance(path, gen string, n, m, opt int, seed uint64) (*streamcover.Instance, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return streamcover.ReadInstance(f)
+	}
+	switch gen {
+	case "planted":
+		inst, planted := streamcover.GeneratePlanted(seed, n, m, opt)
+		fmt.Printf("planted optimum: %d sets %v\n", len(planted), planted)
+		return inst, nil
+	case "uniform":
+		return streamcover.GenerateUniform(seed, n, m, n/16+1, n/4+1), nil
+	case "zipf":
+		return streamcover.GenerateZipf(seed, n, m, 1.5, n/4+1), nil
+	case "clustered":
+		return streamcover.GenerateClustered(seed, n, m, 8, n/8+1), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+}
+
+func drive(inst *setsystem.Instance, alg stream.PassAlgorithm, maxPasses int,
+	ord streamcover.Order, seed uint64) stream.Accounting {
+	var r *rng.RNG
+	if ord != streamcover.Adversarial {
+		r = rng.New(seed)
+	}
+	s := stream.FromInstance(inst, ord, r)
+	acc, err := stream.Run(s, alg, maxPasses)
+	if err != nil {
+		fatal(err)
+	}
+	return acc
+}
+
+func report(name string, cover []int, ok bool, acc stream.Accounting) {
+	if !ok {
+		fmt.Printf("%s: infeasible (universe not coverable)\n", name)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: cover=%d sets, %d passes, %d words\n", name, len(cover), acc.Passes, acc.PeakSpace)
+}
+
+func verify(inst *streamcover.Instance, cover []int) {
+	if !inst.IsCover(cover) {
+		fmt.Fprintln(os.Stderr, "covercli: INTERNAL ERROR: reported cover does not cover the universe")
+		os.Exit(1)
+	}
+	fmt.Println("verified: cover is feasible")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "covercli: %v\n", err)
+	os.Exit(1)
+}

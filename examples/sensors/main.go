@@ -1,0 +1,69 @@
+// Sensors: streaming maximum k-coverage. A vendor streams candidate sensor
+// placements, each covering a disc of grid cells; we may install only k
+// sensors and want to cover as many cells as possible — the maximum
+// coverage problem the paper's Theorem 4 bounds (any (1−ε)-approximation
+// needs Ω̃(m/ε²) memory).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"streamcover"
+	"streamcover/internal/rng"
+)
+
+const (
+	side    = 160 // the field is side×side cells
+	sensors = 600 // candidate placements streamed
+	radius  = 12
+	k       = 6
+)
+
+func main() {
+	n := side * side
+	r := rng.New(7)
+	inst := &streamcover.Instance{N: n, Sets: make([][]int, sensors)}
+	for i := range inst.Sets {
+		cx, cy := r.Intn(side), r.Intn(side)
+		var cells []int
+		for dx := -radius; dx <= radius; dx++ {
+			for dy := -radius; dy <= radius; dy++ {
+				x, y := cx+dx, cy+dy
+				if x < 0 || y < 0 || x >= side || y >= side || dx*dx+dy*dy > radius*radius {
+					continue
+				}
+				cells = append(cells, y*side+x)
+			}
+		}
+		sort.Ints(cells)
+		inst.Sets[i] = cells
+	}
+
+	fmt.Printf("sensors: %d candidates over a %d×%d field, budget k=%d\n",
+		sensors, side, side, k)
+
+	// Streaming: one pass, Õ(k/ε²) sampled cells per candidate retained.
+	res, err := streamcover.SolveMaxCoverage(inst, k,
+		streamcover.WithEpsilon(0.2),
+		streamcover.WithSeed(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streaming pick: %s\n", res)
+	fmt.Printf("  coverage: %.1f%% of the field\n", 100*float64(res.Covered)/float64(n))
+
+	// Offline greedy reference ((1−1/e)-approximate, unbounded memory).
+	chosen, covered := streamcover.GreedyMaxCoverage(inst, k)
+	fmt.Printf("offline greedy: %d sensors cover %d cells (%.1f%%)\n",
+		len(chosen), covered, 100*float64(covered)/float64(n))
+
+	total := 0
+	for _, s := range inst.Sets {
+		total += len(s)
+	}
+	fmt.Printf("memory: streaming retained %d words vs %d to buffer all placements\n",
+		res.SpaceWords, total+sensors)
+}

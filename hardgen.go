@@ -1,0 +1,63 @@
+package streamcover
+
+import (
+	"streamcover/internal/hardinst"
+	"streamcover/internal/rng"
+)
+
+// HardSetCoverInfo is the ground truth accompanying a D_SC draw.
+type HardSetCoverInfo struct {
+	// Theta is the planted bit: 1 means a pair covering the universe exists
+	// (opt ≤ 2), 0 means opt > 2α with high probability (Lemma 3.2).
+	Theta int
+	// IStar is the planted pair index when Theta=1, else −1; the covering
+	// pair is sets IStar and M+IStar.
+	IStar int
+	// M is the number of pairs; the instance has 2M sets.
+	M int
+	// T is the block parameter t = Θ((n/ln m)^{1/α}); the paper's lower
+	// bound says any α-approximation must retain Ω̃(M·T) words.
+	T int
+	// Alpha is the approximation parameter the instance is hard for.
+	Alpha int
+}
+
+// GenerateHardSetCover draws from the paper's hard distribution D_SC
+// (§3.1): 2m sets over a universe of ~n elements such that distinguishing
+// opt ≤ 2 from opt > 2α requires Ω̃(m·n^{1/α}) words of memory in any
+// number of passes. theta ∈ {0,1} plants the answer; use it to benchmark
+// streaming set cover implementations against the information-theoretic
+// limit.
+func GenerateHardSetCover(seed uint64, n, m, alpha, theta int) (*Instance, HardSetCoverInfo) {
+	p := hardinst.SCParams{N: n, M: m, Alpha: alpha}
+	sc := hardinst.SampleSetCover(p, theta, rng.New(seed))
+	return sc.Inst, HardSetCoverInfo{
+		Theta: sc.Theta, IStar: sc.IStar, M: m, T: sc.T, Alpha: alpha,
+	}
+}
+
+// HardMaxCoverageInfo is the ground truth accompanying a D_MC draw.
+type HardMaxCoverageInfo struct {
+	// Theta is the planted bit: 1 means one pair covers ≥ (1+Θ(ε))·Tau,
+	// 0 means every pair covers ≤ (1−Θ(ε))·Tau w.h.p. (Lemma 4.3).
+	Theta int
+	// IStar is the planted pair index when Theta=1, else −1.
+	IStar int
+	// M is the number of pairs; the instance has 2M sets and k = 2.
+	M int
+	// Tau is the separation threshold.
+	Tau float64
+	// Eps is the approximation parameter the instance is hard for.
+	Eps float64
+}
+
+// GenerateHardMaxCoverage draws from the paper's hard distribution D_MC
+// (§4.2): 2m sets such that (1−ε)-approximating maximum 2-coverage requires
+// Ω̃(m/ε²) words in any number of passes.
+func GenerateHardMaxCoverage(seed uint64, m int, eps float64, theta int) (*Instance, HardMaxCoverageInfo) {
+	p := hardinst.MCParams{Eps: eps, M: m}
+	mc := hardinst.SampleMaxCover(p, theta, rng.New(seed))
+	return mc.Inst, HardMaxCoverageInfo{
+		Theta: mc.Theta, IStar: mc.IStar, M: m, Tau: mc.Tau, Eps: eps,
+	}
+}

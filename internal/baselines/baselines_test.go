@@ -1,0 +1,133 @@
+package baselines
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamcover/internal/offline"
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+	"streamcover/internal/stream"
+)
+
+func runAlg(t *testing.T, inst *setsystem.Instance, alg stream.PassAlgorithm, maxPasses int) stream.Accounting {
+	t.Helper()
+	s := stream.FromInstance(inst, stream.Adversarial, nil)
+	acc, err := stream.Run(s, alg, maxPasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
+func TestProgressiveGreedyCovers(t *testing.T) {
+	inst, planted := setsystem.PlantedCover(rng.New(1), 1024, 150, 4, 0.6)
+	g := NewProgressiveGreedy(inst.N, 2)
+	acc := runAlg(t, inst, g, g.MaxPasses())
+	cover, ok := g.Result()
+	if !ok || !inst.IsCover(cover) {
+		t.Fatalf("progressive greedy failed: ok=%v", ok)
+	}
+	// λ=2 emulates greedy within factor 2: cover ≤ 2·H_n·opt, loosely.
+	if len(cover) > 30*len(planted) {
+		t.Fatalf("cover size %d vs opt %d", len(cover), len(planted))
+	}
+	if acc.Passes > g.MaxPasses() {
+		t.Fatalf("passes %d > bound %d", acc.Passes, g.MaxPasses())
+	}
+}
+
+func TestProgressiveGreedyInfeasible(t *testing.T) {
+	inst := &setsystem.Instance{N: 8, Sets: [][]int{{0, 1, 2}, {3}}}
+	g := NewProgressiveGreedy(inst.N, 2)
+	runAlg(t, inst, g, g.MaxPasses())
+	if _, ok := g.Result(); ok {
+		t.Fatal("claimed feasible on an uncoverable instance")
+	}
+}
+
+func TestProgressiveGreedyLambdaTradeoff(t *testing.T) {
+	// Larger λ ⇒ fewer passes, (weakly) worse covers.
+	inst, _ := setsystem.PlantedCover(rng.New(2), 2048, 300, 6, 0.5)
+	run := func(lambda float64) (passes, size int) {
+		g := NewProgressiveGreedy(inst.N, lambda)
+		acc := runAlg(t, inst, g, g.MaxPasses())
+		cover, ok := g.Result()
+		if !ok {
+			t.Fatalf("λ=%v infeasible", lambda)
+		}
+		return acc.Passes, len(cover)
+	}
+	p2, _ := run(2)
+	p16, _ := run(16)
+	if p16 >= p2 {
+		t.Fatalf("λ=16 should use fewer passes: %d vs %d", p16, p2)
+	}
+}
+
+func TestProgressiveGreedyBadLambdaDefaults(t *testing.T) {
+	g := NewProgressiveGreedy(100, 0.5)
+	if g.lambda != 2 {
+		t.Fatalf("lambda = %v, want default 2", g.lambda)
+	}
+}
+
+func TestStoreAllGreedy(t *testing.T) {
+	inst, planted := setsystem.PlantedCover(rng.New(3), 512, 80, 4, 0.6)
+	s := NewStoreAllGreedy(inst.N)
+	acc := runAlg(t, inst, s, 2)
+	cover, ok := s.Result()
+	if !ok || !inst.IsCover(cover) {
+		t.Fatal("store-all greedy failed")
+	}
+	if acc.Passes != 1 {
+		t.Fatalf("store-all used %d passes", acc.Passes)
+	}
+	// Space must be the full input size.
+	want := 0
+	for _, set := range inst.Sets {
+		want += 1 + len(set)
+	}
+	if acc.PeakSpace < want {
+		t.Fatalf("peak space %d below input size %d", acc.PeakSpace, want)
+	}
+	// Greedy quality: within H_n of opt, loosely ≤ ln(n)+1 times planted.
+	if len(cover) > 8*len(planted) {
+		t.Fatalf("greedy cover %d vs opt %d", len(cover), len(planted))
+	}
+}
+
+func TestStoreAllGreedyMatchesOffline(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 32 + r.Intn(64)
+		m := 10 + r.Intn(20)
+		inst := setsystem.Uniform(r, n, m, 1, n/2+1)
+		s := NewStoreAllGreedy(inst.N)
+		st := stream.FromInstance(inst, stream.Adversarial, nil)
+		if _, err := stream.Run(st, s, 2); err != nil {
+			return false
+		}
+		cover, ok := s.Result()
+		offCover, offErr := offline.Greedy(inst)
+		if (offErr == nil) != ok {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return len(cover) == len(offCover)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreAllInfeasible(t *testing.T) {
+	inst := &setsystem.Instance{N: 4, Sets: [][]int{{0}, {1}}}
+	s := NewStoreAllGreedy(inst.N)
+	runAlg(t, inst, s, 2)
+	if _, ok := s.Result(); ok {
+		t.Fatal("claimed feasible on uncoverable instance")
+	}
+}

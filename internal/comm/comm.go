@@ -1,0 +1,206 @@
+// Package comm provides the two-party communication substrate behind the
+// paper's lower bounds (§2.1) in executable form:
+//
+//   - Transcript: a bit-counted message log, serializable for the plug-in
+//     information-cost estimators of package info;
+//   - SimulateStreaming: the reduction in the proof of Theorem 1 — a p-pass
+//     s-space streaming algorithm yields an O(p·s)-bit protocol when the
+//     input sets are partitioned between Alice and Bob (each pass, the
+//     algorithm state crosses the cut twice);
+//   - SolveDisjViaSetCover: protocol π_Disj of Lemma 3.4, embedding one
+//     Disj_t instance at a random index of a D_SC instance and consulting a
+//     set cover value estimator;
+//   - SolveGHDViaMaxCover: protocol π_GHD of Lemma 4.5, the analogous
+//     embedding into D_MC;
+//   - concrete Disj_t protocols (full-reveal, element-sampling, silent)
+//     whose internal information costs experiment E9 measures against
+//     Proposition 2.5.
+package comm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"streamcover/internal/hardinst"
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+	"streamcover/internal/stream"
+)
+
+// Transcript is a bit-counted log of the messages exchanged by a protocol.
+type Transcript struct {
+	Bits  int
+	Msgs  []string
+	Costs []int // per-message bit costs, parallel to Msgs
+}
+
+// Append records one message with its bit cost.
+func (tr *Transcript) Append(msg string, bits int) {
+	tr.Msgs = append(tr.Msgs, msg)
+	tr.Costs = append(tr.Costs, bits)
+	tr.Bits += bits
+}
+
+// Key serializes the transcript for information-cost estimation.
+func (tr *Transcript) Key() string { return strings.Join(tr.Msgs, "|") }
+
+// SetBits returns the bit cost charged for communicating a k-subset of
+// [0, t): k·⌈log₂ t⌉ (element-list encoding), minimum 1.
+func SetBits(t, k int) int {
+	if t < 2 {
+		t = 2
+	}
+	b := k * int(math.Ceil(math.Log2(float64(t))))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// EncodeIntSet renders a sorted int set compactly for transcripts.
+func EncodeIntSet(s []int) string {
+	var sb strings.Builder
+	for i, v := range s {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	return sb.String()
+}
+
+// StreamingSimResult reports the outcome of SimulateStreaming.
+type StreamingSimResult struct {
+	Bits     int // total communication in bits
+	Passes   int
+	Handoffs int // number of state transfers across the cut
+}
+
+// SimulateStreaming runs a PassAlgorithm as a two-party protocol: owner[id]
+// = true means Alice holds set id. Each pass, Alice feeds her sets, hands
+// the algorithm state to Bob (one transfer of Space()·wordBits bits), Bob
+// feeds his, and — unless the run is over — hands the state back for the
+// next pass. This realizes the "one can easily turn A into a protocol for
+// SetCover on D_SC^rnd ... that uses O(p·s) bits" step of Theorem 1.
+func SimulateStreaming(alg stream.PassAlgorithm, inst *setsystem.Instance, owner []bool, maxPasses, wordBits int) (StreamingSimResult, error) {
+	if wordBits <= 0 {
+		wordBits = 32
+	}
+	if len(owner) != inst.M() {
+		return StreamingSimResult{}, fmt.Errorf("comm: owner vector length %d != m=%d", len(owner), inst.M())
+	}
+	var res StreamingSimResult
+	for pass := 0; pass < maxPasses; pass++ {
+		alg.BeginPass(pass)
+		// Alice's half of the stream.
+		for id, isAlice := range owner {
+			if isAlice {
+				alg.Observe(stream.Item{ID: id, Elems: inst.Sets[id]})
+			}
+		}
+		res.Bits += alg.Space() * wordBits // Alice → Bob
+		res.Handoffs++
+		for id, isAlice := range owner {
+			if !isAlice {
+				alg.Observe(stream.Item{ID: id, Elems: inst.Sets[id]})
+			}
+		}
+		done := alg.EndPass()
+		res.Passes = pass + 1
+		if done {
+			return res, nil
+		}
+		res.Bits += alg.Space() * wordBits // Bob → Alice for the next pass
+		res.Handoffs++
+	}
+	return res, stream.ErrPassLimit{Limit: maxPasses}
+}
+
+// InstanceBits returns the cost of communicating the entire instance
+// (element-list encoding): the baseline every sublinear protocol must beat.
+func InstanceBits(inst *setsystem.Instance) int {
+	bits := 0
+	for _, s := range inst.Sets {
+		bits += SetBits(inst.N, len(s))
+	}
+	return bits
+}
+
+// SetCoverOracle estimates whether a set cover instance has opt ≤ bound.
+// It models the α-approximation protocol π_SC consulted by Lemma 3.4 (an
+// α-approximate value v decides "opt ≤ 2α vs opt > 2α" exactly on D_SC
+// because opt is either 2 or > 2α).
+type SetCoverOracle func(inst *setsystem.Instance, bound int) (optAtMostBound bool, err error)
+
+// SolveDisjViaSetCover is protocol π_Disj (Lemma 3.4): it embeds the given
+// Disj instance at a uniformly random index i* of a freshly sampled D_SC
+// instance — all other pairs drawn from D^N_Disj — and returns Yes
+// (disjoint) iff the oracle reports opt ≤ 2α.
+func SolveDisjViaSetCover(d hardinst.Disj, p hardinst.SCParams, oracle SetCoverOracle, r *rng.RNG) (disjoint bool, err error) {
+	t := p.BlockParam()
+	if d.T != t {
+		return false, fmt.Errorf("comm: Disj instance over [%d], D_SC needs [%d]", d.T, t)
+	}
+	n := p.EffectiveN()
+	iStar := r.Intn(p.M)
+	inst := &setsystem.Instance{N: n, Sets: make([][]int, 2*p.M)}
+	for i := 0; i < p.M; i++ {
+		var di hardinst.Disj
+		if i == iStar {
+			di = d
+		} else {
+			di = hardinst.SampleDisjNo(t, r)
+		}
+		f := hardinst.NewMapping(t, n, r)
+		inst.Sets[i] = f.Complement(di.A)
+		inst.Sets[p.M+i] = f.Complement(di.B)
+	}
+	ok, err := oracle(inst, 2*p.Alpha)
+	if err != nil {
+		return false, err
+	}
+	return ok, nil
+}
+
+// MaxCoverOracle estimates whether a maximum coverage instance (k=2) has
+// optimal coverage strictly above the threshold. It models the
+// (1−ε)-approximation protocol π_MC consulted by Lemma 4.5.
+type MaxCoverOracle func(inst *setsystem.Instance, threshold float64) (above bool, err error)
+
+// SolveGHDViaMaxCover is protocol π_GHD (Lemma 4.5): it embeds the given
+// GHD instance at a random index of a freshly sampled D_MC instance and
+// returns Yes (Δ large) iff the oracle reports opt > τ.
+func SolveGHDViaMaxCover(g hardinst.GHD, p hardinst.MCParams, oracle MaxCoverOracle, r *rng.RNG) (yes bool, err error) {
+	t1, t2 := p.T1(), p.T2()
+	if g.T != t1 {
+		return false, fmt.Errorf("comm: GHD instance over [%d], D_MC needs [%d]", g.T, t1)
+	}
+	a, b := hardinst.GHDSizes(t1)
+	tau := float64(t2) + float64(a+b)/2 + float64(t1)/4
+	iStar := r.Intn(p.M)
+	inst := &setsystem.Instance{N: t1 + t2, Sets: make([][]int, 2*p.M)}
+	for i := 0; i < p.M; i++ {
+		var gi hardinst.GHD
+		if i == iStar {
+			gi = g
+		} else {
+			gi = hardinst.SampleGHDNo(t1, r)
+		}
+		var ci, di []int
+		for e := t1; e < t1+t2; e++ {
+			if r.Bernoulli(0.5) {
+				ci = append(ci, e)
+			} else {
+				di = append(di, e)
+			}
+		}
+		inst.Sets[i] = append(append([]int(nil), gi.A...), ci...)
+		inst.Sets[p.M+i] = append(append([]int(nil), gi.B...), di...)
+	}
+	above, err := oracle(inst, tau)
+	if err != nil {
+		return false, err
+	}
+	return above, nil
+}

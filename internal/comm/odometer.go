@@ -1,0 +1,44 @@
+package comm
+
+import (
+	"streamcover/internal/hardinst"
+	"streamcover/internal/rng"
+)
+
+// Odometer wraps a Disj protocol with a transcript budget, the executable
+// shape of the information-odometer construction (Braverman–Weinstein,
+// used by the paper via Lemma 3.6 / Göös et al.): run the protocol while
+// metering the cost; if the meter exceeds the budget, abort and output the
+// fallback answer ("No"/intersecting, the answer whose instances are cheap
+// for the underlying protocol).
+//
+// Lemma 3.6's point is that a protocol cheap on No-instances can be made
+// cheap everywhere at a small error cost; the wrapped protocol's cost is
+// capped at Budget (+ one message) by construction, and its extra error is
+// confined to runs the budget truncates.
+type Odometer struct {
+	Inner DisjProtocol
+	// Budget caps the transcript bits before the abort.
+	Budget int
+}
+
+// Name implements DisjProtocol.
+func (o Odometer) Name() string { return "odometer(" + o.Inner.Name() + ")" }
+
+// Run implements DisjProtocol. The inner protocol runs against a private
+// transcript; messages are re-played onto tr until the budget trips.
+func (o Odometer) Run(d hardinst.Disj, r *rng.RNG, tr *Transcript) bool {
+	var inner Transcript
+	ans := o.Inner.Run(d, r, &inner)
+	bits := 0
+	for i, msg := range inner.Msgs {
+		cost := inner.Costs[i]
+		if bits+cost > o.Budget {
+			tr.Append("abort", 1)
+			return false // fallback: declare intersecting
+		}
+		bits += cost
+		tr.Append(msg, cost)
+	}
+	return ans
+}

@@ -1,0 +1,94 @@
+package comm
+
+import (
+	"fmt"
+
+	"streamcover/internal/hardinst"
+	"streamcover/internal/rng"
+)
+
+// SampledSetCover is a genuine two-party protocol for deciding θ on a D_SC
+// instance — the communication-layer twin of the streaming distinguisher
+// (Theorem 3 is a communication lower bound; the streaming bound follows).
+//
+// Alice holds the sets her partition assigns her; for each pair where she
+// holds exactly one side she sends PerPair uniform elements of that set's
+// complement. Bob checks each received sample against his side's
+// complement: a pair whose samples never collide with his complement looks
+// disjoint-complemented, i.e. covering — evidence for θ=1. The
+// communication is ~(good pairs)·PerPair·log₂(n) bits; Theorem 3 says no
+// protocol can do the job with o(m·t) bits, and the per-pair sample needed
+// to see the t-block collision is Θ(t·log m).
+type SampledSetCover struct {
+	// PerPair is the number of complement samples sent per good pair.
+	PerPair int
+}
+
+// Name identifies the protocol.
+func (p SampledSetCover) Name() string { return fmt.Sprintf("sc-sampled-%d", p.PerPair) }
+
+// Run executes the protocol on sc under the given partition and returns the
+// θ guess along with the transcript (appended to tr).
+func (p SampledSetCover) Run(sc *hardinst.SetCoverInstance, part hardinst.Partition,
+	r *rng.RNG, tr *Transcript) int {
+	n := sc.N
+	zeroHit := false
+	for _, i := range sc.GoodIndices(part) {
+		a, b := sc.AliceSet(i), sc.BobSet(i)
+		// Orient so that "Alice's side" is the one she owns.
+		aliceSet, bobSet := a, b
+		if !part[a] {
+			aliceSet, bobSet = b, a
+		}
+		elemsA := sc.Inst.Sets[aliceSet]
+		want := p.PerPair
+		if comp := n - len(elemsA); want > comp {
+			want = comp
+		}
+		if want <= 0 {
+			// Alice's set covers the universe alone: certain θ=1 evidence.
+			tr.Append(fmt.Sprintf("p%d:full", i), 1)
+			zeroHit = true
+			continue
+		}
+		sample := sampleComplementSorted(elemsA, n, want, r)
+		tr.Append(fmt.Sprintf("p%d:%s", i, EncodeIntSet(sample)), SetBits(n, len(sample)))
+		// Bob: count samples missing from his set too (complement collisions).
+		hits := 0
+		for _, e := range sample {
+			if !containsSorted(sc.Inst.Sets[bobSet], e) {
+				hits++
+			}
+		}
+		if hits == 0 {
+			zeroHit = true
+		}
+		tr.Append(fmt.Sprintf("r%d:%d", i, hits), SetBits(n, 1))
+	}
+	if zeroHit {
+		tr.Append("theta=1", 1)
+		return 1
+	}
+	tr.Append("theta=0", 1)
+	return 0
+}
+
+// sampleComplementSorted returns `want` uniform distinct elements of
+// [0,n) \ elems (elems sorted), sorted, via complement-position sampling.
+func sampleComplementSorted(elems []int, n, want int, r *rng.RNG) []int {
+	positions := r.KSubset(n-len(elems), want)
+	out := make([]int, 0, want)
+	pi, pos, ei := 0, 0, 0
+	for e := 0; e < n && pi < len(positions); e++ {
+		if ei < len(elems) && elems[ei] == e {
+			ei++
+			continue
+		}
+		if pos == positions[pi] {
+			out = append(out, e)
+			pi++
+		}
+		pos++
+	}
+	return out
+}

@@ -1,0 +1,535 @@
+// Package core implements the paper's primary upper-bound contribution:
+// Algorithm 1 of "Tight Space-Approximation Tradeoff for the Multi-Pass
+// Streaming Set Cover Problem" (Assadi, PODS 2017), an (α+ε)-approximation
+// streaming set cover algorithm that makes 2α+1 passes and stores
+// Õ(m·n^{1/α}/ε² + n/ε) words (Theorem 2).
+//
+// The algorithm, given a guess õpt of the optimal cover size:
+//
+//  1. One-shot pruning pass: greedily pick every set covering at least
+//     n/(ε·õpt) still-uncovered elements; at most ε·õpt sets are picked and
+//     afterwards every set covers fewer than n/(ε·õpt) uncovered elements.
+//  2. For α iterations: sample each uncovered element independently with
+//     probability p = C·õpt·ln(m)/n^{1−1/α} (Lemma 3.12 with ρ = n^{−1/α},
+//     paper constant C = 16); store the projection of every set onto the
+//     sample (one pass); solve the sampled sub-instance *optimally* offline;
+//     subtract the chosen sets from the uncovered universe (another pass).
+//     Each iteration shrinks the uncovered set by a factor n^{1/α} w.h.p.,
+//     so α iterations finish the cover with at most õpt sets per iteration
+//     (Lemmas 3.10, 3.11).
+//
+// Since the correct õpt is unknown, Solve runs a (1+ε)-geometric grid of
+// guesses in parallel over the same passes (the standard guessing trick the
+// paper invokes) and returns the smallest feasible cover.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"streamcover/internal/bitset"
+	"streamcover/internal/offline"
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+	"streamcover/internal/stream"
+)
+
+// Subsolver selects how the sampled sub-instance of each iteration is
+// covered.
+type Subsolver int
+
+const (
+	// SubsolverExact solves each sampled sub-instance optimally (what the
+	// paper's Algorithm 1 step 3(c) specifies; the streaming model does not
+	// charge computation). Required for the (α+ε)·opt guarantee.
+	SubsolverExact Subsolver = iota
+	// SubsolverGreedy covers each sampled sub-instance greedily. Cheaper
+	// computationally but weakens the guarantee to O(α·log)·opt; kept as the
+	// ablation of the exact sub-solve (experiment E11).
+	SubsolverGreedy
+)
+
+func (s Subsolver) String() string {
+	switch s {
+	case SubsolverExact:
+		return "exact"
+	case SubsolverGreedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("subsolver(%d)", int(s))
+	}
+}
+
+// Config parameterizes Algorithm 1.
+type Config struct {
+	// Alpha is the approximation parameter α ≥ 1: 2α+1 passes,
+	// Õ(m·n^{1/α}) space, (α+ε)-approximation.
+	Alpha int
+	// Epsilon is ε ∈ (0,1]: prune-pass aggressiveness and guess-grid
+	// resolution.
+	Epsilon float64
+	// SampleC is the constant in the element-sampling rate
+	// p = SampleC·õpt·ln(m)/n^{1−1/α}. 0 means the paper's 16. Experiment
+	// E10 sweeps it to locate the failure threshold of Lemma 3.12.
+	SampleC float64
+	// Subsolver selects the per-iteration offline solver (default exact).
+	Subsolver Subsolver
+	// NodeBudget bounds each exact sub-solve (0 = offline package default).
+	NodeBudget int64
+	// SampleExponent overrides the per-iteration reduction exponent β in
+	// ρ = n^{−β}: the sampling rate becomes C·õpt·ln(m)/n^{1−β} and the
+	// number of iterations ⌈1/β⌉. 0 means the paper's β = 1/α. Setting
+	// β = 2/α reproduces the coarser sampling of Har-Peled et al. (PODS
+	// 2016), whose exponent constant is "larger than 2" — the baseline the
+	// paper improves on (experiments E7, E11).
+	SampleExponent float64
+	// DisablePrune skips the one-shot pruning pass (ablation E11: the pass
+	// is the other ingredient, besides the sharper rate, separating
+	// Algorithm 1 from its predecessor).
+	DisablePrune bool
+	// OptGuesses overrides the õpt guess grid. nil means the full
+	// (1+ε)-geometric grid over [1, n] (the paper's wrapper, which costs an
+	// extra Õ(1/ε) space factor across parallel guesses). Callers that know
+	// the optimum approximately can pass a short list — Algorithm 1 proper
+	// (Theorem 2's statement) assumes õpt is given.
+	OptGuesses []int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Alpha < 1 {
+		out.Alpha = 1
+	}
+	if out.Epsilon <= 0 || out.Epsilon > 1 {
+		out.Epsilon = 0.5
+	}
+	if out.SampleC <= 0 {
+		out.SampleC = 16
+	}
+	if out.SampleExponent <= 0 || out.SampleExponent > 1 {
+		out.SampleExponent = 1 / float64(out.Alpha)
+	}
+	return out
+}
+
+// iterations returns the number of sample/solve iterations: ⌈1/β⌉, which is
+// α for the paper's β = 1/α.
+func (c Config) iterations() int {
+	it := int(math.Ceil(1/c.SampleExponent - 1e-9))
+	if it < 1 {
+		it = 1
+	}
+	return it
+}
+
+// Result reports the outcome of a run for one õpt guess.
+type Result struct {
+	Cover    []int // chosen set IDs, sorted
+	Feasible bool  // the algorithm verified every universe element covered
+	Guess    int   // the õpt guess this run used
+	Err      error // sub-solver failure (e.g. node budget exceeded)
+}
+
+// Run is the single-guess Algorithm 1 as a stream.PassAlgorithm.
+//
+// Pass layout: pass 0 prunes; then iteration j ∈ [0,α) uses pass 2j+1 to
+// store sampled projections and pass 2j+2 to subtract the sub-cover. The
+// run finishes early once the uncovered set is empty.
+type Run struct {
+	cfg  Config
+	n, m int
+	opt  int // the õpt guess
+	r    *rng.RNG
+
+	phase    phase
+	iter     int
+	u        *bitset.Bitset // uncovered elements
+	uCount   int
+	usmpl    *bitset.Bitset // current sample (subset of u)
+	usmplCnt int
+	projIDs  []int   // set IDs with non-empty sampled projection
+	projs    [][]int // their projections (sampled-element IDs)
+	projWrds int     // Σ(1+|proj|): stored words for projections
+	chosen   map[int]bool
+	pending  []int // sub-cover awaiting subtraction
+	sol      []int
+	solSet   map[int]bool
+	failed   bool
+	err      error
+	done     bool
+
+	// uncovHistory records |U| after the prune pass and after each
+	// subtraction pass — the Lemma 3.11 decay trace (each iteration should
+	// shrink |U| by roughly n^{β}).
+	uncovHistory []int
+	// prunePicked counts sets taken by the pruning pass; Lemma 3.10 bounds
+	// it by ε·õpt (each pick covers ≥ n/(ε·õpt) new elements).
+	prunePicked int
+}
+
+type phase int
+
+const (
+	phasePrune phase = iota
+	phaseStore
+	phaseSubtract
+	phaseDone
+)
+
+// NewRun returns a single-guess Algorithm 1 over a universe of size n with
+// m sets, guessing õpt = optGuess. The RNG drives element sampling.
+func NewRun(n, m, optGuess int, cfg Config, r *rng.RNG) *Run {
+	c := cfg.withDefaults()
+	if optGuess < 1 {
+		optGuess = 1
+	}
+	return &Run{cfg: c, n: n, m: m, opt: optGuess, r: r,
+		chosen: map[int]bool{}, solSet: map[int]bool{}}
+}
+
+// sampleRate returns p = C·õpt·ln(m)/n^{1−β}, clamped to [0,1], where β is
+// the reduction exponent (the paper's 1/α by default).
+func (a *Run) sampleRate() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	lm := math.Log(float64(a.m))
+	if lm < 1 {
+		lm = 1
+	}
+	p := a.cfg.SampleC * float64(a.opt) * lm /
+		math.Pow(float64(a.n), 1-a.cfg.SampleExponent)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// pruneThreshold returns the first-pass pick threshold n/(ε·õpt).
+func (a *Run) pruneThreshold() float64 {
+	return float64(a.n) / (a.cfg.Epsilon * float64(a.opt))
+}
+
+// BeginPass implements stream.PassAlgorithm.
+func (a *Run) BeginPass(pass int) {
+	switch {
+	case pass == 0:
+		a.u = bitset.New(a.n)
+		a.u.Fill()
+		a.uCount = a.n
+		if a.cfg.DisablePrune {
+			a.beginStorePass()
+		} else {
+			a.phase = phasePrune
+		}
+	case a.done:
+		a.phase = phaseDone
+	case a.phase == phasePrune || a.phase == phaseSubtract:
+		a.beginStorePass()
+	case a.phase == phaseStore:
+		a.phase = phaseSubtract
+	}
+}
+
+// beginStorePass starts the next iteration by sampling the uncovered
+// universe at the configured rate.
+func (a *Run) beginStorePass() {
+	a.phase = phaseStore
+	a.usmpl = bitset.New(a.n)
+	a.usmplCnt = 0
+	p := a.sampleRate()
+	a.u.Range(func(e int) bool {
+		if a.r.Bernoulli(p) {
+			a.usmpl.Set(e)
+			a.usmplCnt++
+		}
+		return true
+	})
+	a.projIDs = a.projIDs[:0]
+	a.projs = a.projs[:0]
+	a.projWrds = 0
+}
+
+// Observe implements stream.PassAlgorithm.
+func (a *Run) Observe(item stream.Item) {
+	switch a.phase {
+	case phasePrune:
+		cnt := 0
+		for _, e := range item.Elems {
+			if a.u.Has(e) {
+				cnt++
+			}
+		}
+		if cnt > 0 && float64(cnt) >= a.pruneThreshold() {
+			a.takeSet(item.ID)
+			a.prunePicked++
+			for _, e := range item.Elems {
+				if a.u.Has(e) {
+					a.u.Clear(e)
+					a.uCount--
+				}
+			}
+		}
+	case phaseStore:
+		var proj []int
+		for _, e := range item.Elems {
+			if a.usmpl.Has(e) {
+				proj = append(proj, e)
+			}
+		}
+		if len(proj) > 0 {
+			a.projIDs = append(a.projIDs, item.ID)
+			a.projs = append(a.projs, proj)
+			a.projWrds += 1 + len(proj)
+		}
+	case phaseSubtract:
+		if a.chosen[item.ID] {
+			for _, e := range item.Elems {
+				if a.u.Has(e) {
+					a.u.Clear(e)
+					a.uCount--
+				}
+			}
+		}
+	}
+}
+
+// EndPass implements stream.PassAlgorithm.
+func (a *Run) EndPass() bool {
+	switch a.phase {
+	case phasePrune:
+		a.uncovHistory = append(a.uncovHistory, a.uCount)
+		if a.uCount == 0 {
+			a.done = true
+		}
+	case phaseStore:
+		a.solveSample()
+		if a.failed {
+			a.done = true
+		}
+	case phaseSubtract:
+		for _, id := range a.pending {
+			a.takeSet(id)
+		}
+		a.pending = nil
+		a.chosen = map[int]bool{}
+		a.freeProjections()
+		a.iter++
+		a.uncovHistory = append(a.uncovHistory, a.uCount)
+		if a.uCount == 0 {
+			a.done = true
+		} else if a.iter >= a.cfg.iterations() {
+			// Iterations exhausted with uncovered elements left: this guess
+			// failed (õpt too small for the sampling to succeed).
+			a.failed = true
+			a.done = true
+		}
+	case phaseDone:
+		// nothing to do; stay done
+	}
+	return a.done
+}
+
+// solveSample covers the sampled universe with the configured sub-solver
+// and records the chosen set IDs for the subtraction pass.
+func (a *Run) solveSample() {
+	if a.usmplCnt == 0 {
+		// Nothing sampled (tiny U or p rounding): the iteration is a no-op.
+		return
+	}
+	// Remap sampled elements to a compact universe [0, usmplCnt).
+	remap := make(map[int]int, a.usmplCnt)
+	a.usmpl.Range(func(e int) bool {
+		remap[e] = len(remap)
+		return true
+	})
+	sub := &setsystem.Instance{N: a.usmplCnt, Sets: make([][]int, len(a.projs))}
+	for i, proj := range a.projs {
+		s := make([]int, len(proj))
+		for j, e := range proj {
+			s[j] = remap[e]
+		}
+		sort.Ints(s)
+		sub.Sets[i] = s
+	}
+
+	var picked []int
+	switch a.cfg.Subsolver {
+	case SubsolverGreedy:
+		cover, err := offline.Greedy(sub)
+		if err != nil {
+			a.failed = true
+			return
+		}
+		picked = cover
+	default:
+		cover, ok, err := offline.CoverAtMost(sub, a.opt, offline.ExactConfig{NodeBudget: a.cfg.NodeBudget})
+		if err != nil {
+			a.err = err
+			a.failed = true
+			return
+		}
+		if !ok {
+			// No cover of size ≤ õpt exists on the sample ⇒ the guess is too
+			// small (the true optimum restricted to the sample would fit).
+			a.failed = true
+			return
+		}
+		picked = cover
+	}
+	a.pending = a.pending[:0]
+	for _, local := range picked {
+		id := a.projIDs[local]
+		a.pending = append(a.pending, id)
+		a.chosen[id] = true
+	}
+}
+
+func (a *Run) takeSet(id int) {
+	if !a.solSet[id] {
+		a.solSet[id] = true
+		a.sol = append(a.sol, id)
+	}
+}
+
+func (a *Run) freeProjections() {
+	a.projIDs = nil
+	a.projs = nil
+	a.projWrds = 0
+	a.usmpl = nil
+	a.usmplCnt = 0
+}
+
+// Space implements stream.PassAlgorithm. The uncovered bitset is charged at
+// n words (one flag per universe element, the paper's O(n) term); stored
+// projections are charged one word per retained set ID and element ID.
+func (a *Run) Space() int {
+	sp := len(a.sol) + len(a.pending)
+	if a.u != nil {
+		sp += a.n
+	}
+	sp += a.usmplCnt + a.projWrds
+	return sp
+}
+
+// UncoveredHistory returns |U| after the prune pass and after each
+// sample/solve/subtract iteration — the empirical Lemma 3.11 decay trace.
+func (a *Run) UncoveredHistory() []int {
+	return append([]int(nil), a.uncovHistory...)
+}
+
+// PrunePicked returns the number of sets the pruning pass took; Lemma 3.10
+// bounds it by ε·õpt.
+func (a *Run) PrunePicked() int { return a.prunePicked }
+
+// Result returns the run outcome. Valid after the driver reports done.
+func (a *Run) Result() Result {
+	cover := append([]int(nil), a.sol...)
+	sort.Ints(cover)
+	return Result{Cover: cover, Feasible: !a.failed && a.uCount == 0, Guess: a.opt, Err: a.err}
+}
+
+// Passes returns the pass count Algorithm 1 needs in the worst case for the
+// configured α: one prune pass plus two per iteration (2α+1, Theorem 2).
+func Passes(alpha int) int { return 2*alpha + 1 }
+
+// MaxPasses returns the worst-case pass count for this configuration,
+// accounting for a custom reduction exponent and a disabled prune pass.
+func (c Config) MaxPasses() int {
+	d := c.withDefaults()
+	passes := 2 * d.iterations()
+	if !d.DisablePrune {
+		passes++
+	}
+	return passes
+}
+
+// Guesses returns the (1+ε)-geometric õpt guess grid {1, (1+ε), ...} ∩ [1,n],
+// deduplicated after rounding up.
+func Guesses(n int, eps float64) []int {
+	if eps <= 0 {
+		eps = 0.5
+	}
+	var out []int
+	last := 0
+	for g := 1.0; ; g *= 1 + eps {
+		v := int(math.Ceil(g))
+		if v > n {
+			break
+		}
+		if v != last {
+			out = append(out, v)
+			last = v
+		}
+		if v == n {
+			break
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// Solver runs Algorithm 1 for every õpt guess in parallel over the shared
+// passes, as the paper prescribes, and reports the smallest feasible cover.
+type Solver struct {
+	*stream.Parallel
+	runs []*Run
+}
+
+// NewSolver builds the parallel guess runner for a stream with universe n
+// and m sets.
+func NewSolver(n, m int, cfg Config, r *rng.RNG) *Solver {
+	c := cfg.withDefaults()
+	guesses := c.OptGuesses
+	if len(guesses) == 0 {
+		guesses = Guesses(n, c.Epsilon)
+	}
+	runs := make([]*Run, len(guesses))
+	algs := make([]stream.PassAlgorithm, len(guesses))
+	for i, g := range guesses {
+		runs[i] = NewRun(n, m, g, c, r.Split(fmt.Sprintf("guess-%d", g)))
+		algs[i] = runs[i]
+	}
+	return &Solver{Parallel: stream.NewParallel(algs...), runs: runs}
+}
+
+// Best returns the smallest feasible cover across guesses. ok is false when
+// no guess produced a feasible cover (e.g. the instance is not coverable).
+func (s *Solver) Best() (Result, bool) {
+	var best Result
+	found := false
+	for _, run := range s.runs {
+		res := run.Result()
+		if !res.Feasible {
+			continue
+		}
+		if !found || len(res.Cover) < len(best.Cover) {
+			best = res
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Runs exposes the per-guess runs (for tests and experiments).
+func (s *Solver) Runs() []*Run { return s.runs }
+
+// Solve is the convenience entry point: stream the instance in the given
+// order and return the best cover with driver accounting.
+func Solve(inst *setsystem.Instance, order stream.Order, cfg Config, r *rng.RNG) (Result, stream.Accounting, error) {
+	c := cfg.withDefaults()
+	s := stream.FromInstance(inst, order, r.Split("stream-order"))
+	solver := NewSolver(inst.N, inst.M(), c, r)
+	acc, err := stream.Run(s, solver, c.MaxPasses()+1)
+	if err != nil {
+		return Result{}, acc, err
+	}
+	best, ok := solver.Best()
+	if !ok {
+		return Result{}, acc, offline.ErrInfeasible
+	}
+	return best, acc, nil
+}

@@ -1,0 +1,115 @@
+// Package hardinst generates the paper's hard input distributions:
+//
+//   - D_Disj, the standard hard distribution for set disjointness (§2.2);
+//   - mapping extensions of [t] to [n] (Definition 3);
+//   - D_SC, the hard set cover distribution built from m Disj instances and
+//     independent mapping extensions (§3.1), with the random-partition
+//     variant D_SC^rnd of §3.3;
+//   - D_GHD, gap-hamming-distance with fixed set sizes (§4.1);
+//   - D_MC, the hard maximum coverage distribution built from m GHD
+//     instances plus the U2 partition gadget (§4.2).
+//
+// Every sampler also returns the ground truth (θ, i*, the embedded
+// instances) so experiments can score distinguishers and verify the
+// structural lemmas (Lemma 3.2, Remark 3.1, Claim 4.4, Lemma 4.3).
+package hardinst
+
+import (
+	"streamcover/internal/rng"
+)
+
+// Disj is one set-disjointness instance over [0, T): Alice holds A, Bob
+// holds B. Under D_Disj, A and B are disjoint (the Yes case, Z=0) or share
+// exactly one element e* (the No case, Z=1).
+type Disj struct {
+	T    int
+	A, B []int // sorted subsets of [0, T)
+	// Intersecting records Z=1 (a No instance: A ∩ B = {Common}).
+	Intersecting bool
+	// Common is e* when Intersecting, else -1.
+	Common int
+}
+
+// Disjoint reports the Disj answer: true means A ∩ B = ∅ (a Yes instance).
+func (d Disj) Disjoint() bool { return !d.Intersecting }
+
+// SampleDisjBase draws the base of D_Disj (before the Z coin): for each
+// element independently, with probability 1/3 each it lands in neither set,
+// only in B, or only in A. The result is always disjoint.
+func SampleDisjBase(t int, r *rng.RNG) Disj {
+	d := Disj{T: t, Common: -1}
+	for e := 0; e < t; e++ {
+		switch r.Intn(3) {
+		case 0: // drop from both
+		case 1: // drop from A only
+			d.B = append(d.B, e)
+		default: // drop from B only
+			d.A = append(d.A, e)
+		}
+	}
+	return d
+}
+
+// SampleDisjYes draws from D^Y_Disj = (D_Disj | Z=0): a disjoint instance.
+func SampleDisjYes(t int, r *rng.RNG) Disj {
+	return SampleDisjBase(t, r)
+}
+
+// SampleDisjNo draws from D^N_Disj = (D_Disj | Z=1): the base distribution
+// with a uniformly random e* added to both sets.
+func SampleDisjNo(t int, r *rng.RNG) Disj {
+	d := SampleDisjBase(t, r)
+	e := r.Intn(t)
+	d.A = insertSorted(d.A, e)
+	d.B = insertSorted(d.B, e)
+	d.Intersecting = true
+	d.Common = e
+	return d
+}
+
+// SampleDisj draws from D_Disj with a fair Z coin.
+func SampleDisj(t int, r *rng.RNG) Disj {
+	if r.Bernoulli(0.5) {
+		return SampleDisjNo(t, r)
+	}
+	return SampleDisjYes(t, r)
+}
+
+// insertSorted inserts v into sorted s if absent, preserving order.
+func insertSorted(s []int, v int) []int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = v
+	return s
+}
+
+// Intersection returns the sorted intersection of two sorted slices.
+func Intersection(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

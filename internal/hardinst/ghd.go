@@ -1,0 +1,146 @@
+package hardinst
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"streamcover/internal/rng"
+)
+
+// GHD is one gap-hamming-distance instance over [0, T): the promise is that
+// the hamming distance Δ(A,B) = |A Δ B| is either ≥ T/2+√T (Yes) or
+// ≤ T/2−√T (No). Under D_GHD the set sizes |A| = a and |B| = b are fixed.
+type GHD struct {
+	T    int
+	A, B []int // sorted subsets of [0, T)
+	Yes  bool  // Δ ≥ T/2+√T
+}
+
+// Delta returns the hamming distance |A Δ B| = |A| + |B| − 2|A∩B|.
+func (g GHD) Delta() int {
+	return len(g.A) + len(g.B) - 2*len(Intersection(g.A, g.B))
+}
+
+// GHDSizes returns the fixed set sizes (a, b) used by D_GHD: the paper
+// leaves them unspecified (they come out of an averaging argument in
+// Claim B.1); we use a = b = t/2, where the gap events have constant
+// probability.
+func GHDSizes(t int) (a, b int) { return t / 2, t / 2 }
+
+// SampleGHDYes draws from D^Y_GHD: uniform over (A,B) with |A|=a, |B|=b,
+// conditioned on Δ(A,B) ≥ t/2+√t.
+func SampleGHDYes(t int, r *rng.RNG) GHD {
+	a, b := GHDSizes(t)
+	// Δ ≥ t/2+√t  ⇔  q = |A∩B| ≤ (a+b−t/2−√t)/2.
+	qMax := int(math.Floor((float64(a+b) - float64(t)/2 - math.Sqrt(float64(t))) / 2))
+	q := sampleHypergeomTruncated(t, a, b, 0, qMax, r)
+	A, B := buildWithIntersection(t, a, b, q, r)
+	return GHD{T: t, A: A, B: B, Yes: true}
+}
+
+// SampleGHDNo draws from D^N_GHD: uniform over (A,B) with |A|=a, |B|=b,
+// conditioned on Δ(A,B) ≤ t/2−√t.
+func SampleGHDNo(t int, r *rng.RNG) GHD {
+	a, b := GHDSizes(t)
+	// Δ ≤ t/2−√t  ⇔  q ≥ (a+b−t/2+√t)/2.
+	qMin := int(math.Ceil((float64(a+b) - float64(t)/2 + math.Sqrt(float64(t))) / 2))
+	hi := a
+	if b < hi {
+		hi = b
+	}
+	q := sampleHypergeomTruncated(t, a, b, qMin, hi, r)
+	A, B := buildWithIntersection(t, a, b, q, r)
+	return GHD{T: t, A: A, B: B, Yes: false}
+}
+
+// SampleGHD draws from D_GHD = ½·D^Y + ½·D^N.
+func SampleGHD(t int, r *rng.RNG) GHD {
+	if r.Bernoulli(0.5) {
+		return SampleGHDYes(t, r)
+	}
+	return SampleGHDNo(t, r)
+}
+
+// buildWithIntersection returns uniform (A,B), |A|=a, |B|=b, |A∩B|=q.
+func buildWithIntersection(t, a, b, q int, r *rng.RNG) (A, B []int) {
+	A = r.KSubset(t, a)
+	commonIdx := r.KSubset(a, q)
+	common := make(map[int]struct{}, q)
+	B = make([]int, 0, b)
+	for _, idx := range commonIdx {
+		B = append(B, A[idx])
+		common[A[idx]] = struct{}{}
+	}
+	inA := make(map[int]struct{}, a)
+	for _, e := range A {
+		inA[e] = struct{}{}
+	}
+	// The rest of B comes uniformly from [t] \ A.
+	rest := make([]int, 0, t-a)
+	for e := 0; e < t; e++ {
+		if _, ok := inA[e]; !ok {
+			rest = append(rest, e)
+		}
+	}
+	for _, idx := range r.KSubset(len(rest), b-q) {
+		B = append(B, rest[idx])
+	}
+	sort.Ints(B)
+	return A, B
+}
+
+// sampleHypergeomTruncated samples q ~ Hypergeometric(t, a, b) conditioned
+// on lo ≤ q ≤ hi: P(q) ∝ C(a,q)·C(t−a, b−q). It computes the truncated pmf
+// in log space. It panics if the conditioning event is empty (the caller's
+// parameters guarantee a non-degenerate gap event for t ≥ 16).
+func sampleHypergeomTruncated(t, a, b, lo, hi int, r *rng.RNG) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if m := b - (t - a); lo < m {
+		lo = m // need b−q ≤ t−a
+	}
+	if hi > a {
+		hi = a
+	}
+	if hi > b {
+		hi = b
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("hardinst: empty hypergeometric window t=%d a=%d b=%d [%d,%d]", t, a, b, lo, hi))
+	}
+	logs := make([]float64, hi-lo+1)
+	maxLog := math.Inf(-1)
+	for q := lo; q <= hi; q++ {
+		l := logChoose(a, q) + logChoose(t-a, b-q)
+		logs[q-lo] = l
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	total := 0.0
+	for i := range logs {
+		logs[i] = math.Exp(logs[i] - maxLog)
+		total += logs[i]
+	}
+	u := r.Float64() * total
+	for q := lo; q <= hi; q++ {
+		u -= logs[q-lo]
+		if u <= 0 {
+			return q
+		}
+	}
+	return hi
+}
+
+// logChoose returns log C(n, k), or −Inf when the binomial is zero.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk1, _ := math.Lgamma(float64(k + 1))
+	lnk1, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk1 - lnk1
+}

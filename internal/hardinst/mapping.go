@@ -1,0 +1,65 @@
+package hardinst
+
+import (
+	"fmt"
+	"sort"
+
+	"streamcover/internal/rng"
+)
+
+// Mapping is a mapping-extension of [t] to [n] (Definition 3): a function
+// assigning each i ∈ [t] a block of n/t unique elements of [n], the blocks
+// forming a partition. n must be divisible by t.
+type Mapping struct {
+	T, N int
+	perm []int // perm chopped into t consecutive blocks of size n/t
+}
+
+// NewMapping draws a uniformly random mapping-extension of [t] to [n].
+func NewMapping(t, n int, r *rng.RNG) *Mapping {
+	if t <= 0 || n <= 0 || n%t != 0 {
+		panic(fmt.Sprintf("hardinst: mapping requires t | n, got t=%d n=%d", t, n))
+	}
+	return &Mapping{T: t, N: n, perm: r.Perm(n)}
+}
+
+// BlockSize returns n/t.
+func (m *Mapping) BlockSize() int { return m.N / m.T }
+
+// Block returns f(i), the sorted block of element IDs assigned to i.
+func (m *Mapping) Block(i int) []int {
+	bs := m.BlockSize()
+	out := append([]int(nil), m.perm[i*bs:(i+1)*bs]...)
+	sort.Ints(out)
+	return out
+}
+
+// Apply returns f(A) = ∪_{i∈A} f(i), sorted.
+func (m *Mapping) Apply(a []int) []int {
+	bs := m.BlockSize()
+	out := make([]int, 0, len(a)*bs)
+	for _, i := range a {
+		out = append(out, m.perm[i*bs:(i+1)*bs]...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Complement returns [n] \ f(A), sorted: the set S_i = [n] \ f_i(A_i) of the
+// D_SC construction.
+func (m *Mapping) Complement(a []int) []int {
+	bs := m.BlockSize()
+	drop := make(map[int]struct{}, len(a)*bs)
+	for _, i := range a {
+		for _, e := range m.perm[i*bs : (i+1)*bs] {
+			drop[e] = struct{}{}
+		}
+	}
+	out := make([]int, 0, m.N-len(drop))
+	for e := 0; e < m.N; e++ {
+		if _, gone := drop[e]; !gone {
+			out = append(out, e)
+		}
+	}
+	return out
+}

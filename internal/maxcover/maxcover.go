@@ -1,0 +1,285 @@
+// Package maxcover implements streaming maximum k-coverage algorithms.
+//
+// The paper's Section 3.4 uses (1−ε)-approximate maximum coverage with very
+// small ε as the per-iteration subroutine of streaming set cover, and its
+// Theorem 4 proves any such algorithm needs Ω̃(m/ε²) space. This package
+// provides the two standard upper-bound strategies:
+//
+//   - SampledKCover: element sampling in the style of McGregor–Vu (ICDT
+//     2017) and Bateni et al.: project every set onto a random sample of
+//     Θ(k·ln m/ε²) universe elements (one pass, Õ(m·k/ε²) words total) and
+//     solve maximum coverage on the sample offline. (1−ε)-approximation
+//     w.h.p. — matching the Ω̃(m/ε²) lower bound up to the k factor.
+//
+//   - Sieve: the single-pass threshold ("sieve-streaming") algorithm of
+//     Badanidiyuru et al. (KDD 2014) specialized to coverage: maintain a
+//     geometric grid of OPT guesses and add a set to a guess's solution
+//     when its marginal coverage crosses (v/2 − current)/(k − picked).
+//     (1/2−ε)-approximation — the quality/space baseline below the (1−ε)
+//     regime.
+package maxcover
+
+import (
+	"math"
+	"sort"
+
+	"streamcover/internal/bitset"
+	"streamcover/internal/offline"
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+	"streamcover/internal/stream"
+)
+
+// SampledConfig configures SampledKCover.
+type SampledConfig struct {
+	// K is the coverage budget (number of sets to pick).
+	K int
+	// Eps is the target approximation slack: (1−ε)·opt coverage w.h.p.
+	Eps float64
+	// SampleC scales the sample size C·K·ln(m)/ε²; 0 means 4.
+	SampleC float64
+	// Exact solves the sampled instance optimally when true (feasible for
+	// small K); otherwise greedy is used, costing an extra (1−1/e) factor.
+	Exact bool
+	// NodeBudget bounds the exact sub-solve (0 = offline default).
+	NodeBudget int64
+}
+
+// SampledKCover is the element-sampling streaming maximum coverage
+// algorithm (one pass over the stream).
+type SampledKCover struct {
+	cfg  SampledConfig
+	n, m int
+	r    *rng.RNG
+
+	sample  []int // sorted sampled universe elements
+	remap   map[int]int
+	projIDs []int
+	projs   [][]int
+	words   int
+	chosen  []int
+	err     error
+	done    bool
+}
+
+// NewSampledKCover builds the algorithm for a stream with universe n and m
+// sets.
+func NewSampledKCover(n, m int, cfg SampledConfig, r *rng.RNG) *SampledKCover {
+	if cfg.K < 1 {
+		cfg.K = 1
+	}
+	if cfg.Eps <= 0 || cfg.Eps >= 1 {
+		cfg.Eps = 0.1
+	}
+	if cfg.SampleC <= 0 {
+		cfg.SampleC = 4
+	}
+	return &SampledKCover{cfg: cfg, n: n, m: m, r: r}
+}
+
+// SampleSize returns the number of universe elements sampled:
+// min(n, C·K·ln(m)/ε²).
+func (a *SampledKCover) SampleSize() int {
+	lm := math.Log(float64(a.m))
+	if lm < 1 {
+		lm = 1
+	}
+	s := int(a.cfg.SampleC * float64(a.cfg.K) * lm / (a.cfg.Eps * a.cfg.Eps))
+	if s > a.n {
+		s = a.n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// BeginPass implements stream.PassAlgorithm.
+func (a *SampledKCover) BeginPass(pass int) {
+	if pass != 0 {
+		return
+	}
+	a.sample = a.r.KSubset(a.n, a.SampleSize())
+	a.remap = make(map[int]int, len(a.sample))
+	for i, e := range a.sample {
+		a.remap[e] = i
+	}
+}
+
+// Observe implements stream.PassAlgorithm.
+func (a *SampledKCover) Observe(item stream.Item) {
+	if a.done {
+		return
+	}
+	var proj []int
+	for _, e := range item.Elems {
+		if idx, ok := a.remap[e]; ok {
+			proj = append(proj, idx)
+		}
+	}
+	if len(proj) > 0 {
+		sort.Ints(proj)
+		a.projIDs = append(a.projIDs, item.ID)
+		a.projs = append(a.projs, proj)
+		a.words += 1 + len(proj)
+	}
+}
+
+// EndPass implements stream.PassAlgorithm: solves the sampled instance.
+func (a *SampledKCover) EndPass() bool {
+	sub := &setsystem.Instance{N: len(a.sample), Sets: a.projs}
+	var picked []int
+	if a.cfg.Exact {
+		chosen, _, err := offline.MaxCoverExact(sub, a.cfg.K, offline.ExactConfig{NodeBudget: a.cfg.NodeBudget})
+		if err != nil {
+			a.err = err
+			a.done = true
+			return true
+		}
+		picked = chosen
+	} else {
+		picked, _ = offline.MaxCoverGreedy(sub, a.cfg.K)
+	}
+	for _, local := range picked {
+		a.chosen = append(a.chosen, a.projIDs[local])
+	}
+	sort.Ints(a.chosen)
+	a.done = true
+	return true
+}
+
+// Space implements stream.PassAlgorithm: the sample plus stored projections.
+func (a *SampledKCover) Space() int {
+	return len(a.sample) + a.words + len(a.chosen)
+}
+
+// Result returns the chosen set IDs and any sub-solver error.
+func (a *SampledKCover) Result() ([]int, error) {
+	return append([]int(nil), a.chosen...), a.err
+}
+
+// Sieve is the single-pass threshold maximum-coverage algorithm.
+type Sieve struct {
+	n, k int
+	eps  float64
+
+	maxSingleton int
+	guesses      []sieveGuess
+	done         bool
+}
+
+type sieveGuess struct {
+	v       float64
+	chosen  []int
+	covered *bitset.Bitset
+	count   int
+}
+
+// NewSieve builds a sieve for universe n with budget k and slack ε.
+func NewSieve(n, k int, eps float64) *Sieve {
+	if k < 1 {
+		k = 1
+	}
+	if eps <= 0 || eps >= 1 {
+		eps = 0.1
+	}
+	return &Sieve{n: n, k: k, eps: eps}
+}
+
+// BeginPass implements stream.PassAlgorithm.
+func (s *Sieve) BeginPass(pass int) {}
+
+// Observe implements stream.PassAlgorithm.
+func (s *Sieve) Observe(item stream.Item) {
+	if s.done {
+		return
+	}
+	if len(item.Elems) > s.maxSingleton {
+		s.maxSingleton = len(item.Elems)
+		s.refreshGuesses()
+	}
+	for gi := range s.guesses {
+		g := &s.guesses[gi]
+		if len(g.chosen) >= s.k {
+			continue
+		}
+		gain := 0
+		for _, e := range item.Elems {
+			if !g.covered.Has(e) {
+				gain++
+			}
+		}
+		need := (g.v/2 - float64(g.count)) / float64(s.k-len(g.chosen))
+		if float64(gain) >= need && gain > 0 {
+			g.chosen = append(g.chosen, item.ID)
+			for _, e := range item.Elems {
+				if !g.covered.Has(e) {
+					g.covered.Set(e)
+					g.count++
+				}
+			}
+		}
+	}
+}
+
+// refreshGuesses lazily maintains the geometric OPT-guess grid
+// {(1+ε)^j : maxSingleton ≤ (1+ε)^j ≤ 2·k·maxSingleton}, carrying over the
+// state of guesses that remain in range.
+func (s *Sieve) refreshGuesses() {
+	lo := float64(s.maxSingleton)
+	hi := 2 * float64(s.k) * float64(s.maxSingleton)
+	keep := s.guesses[:0]
+	existing := map[int]sieveGuess{}
+	for _, g := range s.guesses {
+		existing[int(math.Round(math.Log(g.v)/math.Log(1+s.eps)))] = g
+	}
+	jLo := int(math.Floor(math.Log(lo) / math.Log(1+s.eps)))
+	jHi := int(math.Ceil(math.Log(hi) / math.Log(1+s.eps)))
+	for j := jLo; j <= jHi; j++ {
+		v := math.Pow(1+s.eps, float64(j))
+		if v < lo/(1+s.eps) || v > hi*(1+s.eps) {
+			continue
+		}
+		if g, ok := existing[j]; ok {
+			keep = append(keep, g)
+			continue
+		}
+		keep = append(keep, sieveGuess{v: v, covered: bitset.New(s.n)})
+	}
+	s.guesses = keep
+}
+
+// EndPass implements stream.PassAlgorithm: single pass.
+func (s *Sieve) EndPass() bool {
+	s.done = true
+	return true
+}
+
+// Space implements stream.PassAlgorithm: each live guess pays its covered
+// bitset (n words, matching the package-wide flag accounting) plus its
+// partial solution.
+func (s *Sieve) Space() int {
+	sp := 0
+	for _, g := range s.guesses {
+		sp += s.n + len(g.chosen)
+	}
+	return sp
+}
+
+// Result returns the best guess's chosen IDs and their sampled coverage
+// count.
+func (s *Sieve) Result() (chosen []int, covered int) {
+	best := -1
+	for gi := range s.guesses {
+		if s.guesses[gi].count > covered || best < 0 {
+			best = gi
+			covered = s.guesses[gi].count
+		}
+	}
+	if best < 0 {
+		return nil, 0
+	}
+	out := append([]int(nil), s.guesses[best].chosen...)
+	sort.Ints(out)
+	return out, covered
+}

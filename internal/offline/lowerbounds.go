@@ -1,0 +1,122 @@
+package offline
+
+import (
+	"math"
+
+	"streamcover/internal/bitset"
+	"streamcover/internal/setsystem"
+)
+
+// LowerBound returns a certified lower bound on the optimal set cover size,
+// the best of three cheap certificates:
+//
+//   - volume: ⌈n / max|S_i|⌉;
+//   - LP-duality via greedy: greedy_size / H(max|S_i|), since greedy is an
+//     H_k-approximation of the LP optimum, itself ≤ opt… in fact greedy ≤
+//     H_k·opt directly, so opt ≥ ⌈greedy/H_k⌉;
+//   - packing: a maximal set of elements no two of which share a set — each
+//     chosen set covers at most one of them, so opt is at least their count.
+//
+// Instances that cannot be covered at all return n+1 (an unreachable
+// value). The bound lets experiments certify opt > threshold on instances
+// too large for the exact search (e.g. Lemma 3.2 checks at bigger n).
+func LowerBound(in *setsystem.Instance) int {
+	if in.N == 0 {
+		return 0
+	}
+	if !in.Coverable() {
+		return in.N + 1
+	}
+	best := lowerBound(in) // volume bound
+
+	if g, err := Greedy(in); err == nil {
+		maxSize := 0
+		for _, s := range in.Sets {
+			if len(s) > maxSize {
+				maxSize = len(s)
+			}
+		}
+		if maxSize > 0 {
+			if lb := int(math.Ceil(float64(len(g)) / harmonic(maxSize))); lb > best {
+				best = lb
+			}
+		}
+	}
+
+	if lb := packingBound(in); lb > best {
+		best = lb
+	}
+	return best
+}
+
+// harmonic returns H_k = 1 + 1/2 + ... + 1/k.
+func harmonic(k int) float64 {
+	h := 0.0
+	for i := 1; i <= k; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// packingBound greedily builds an element set no two of which co-occur in
+// any input set; its size lower-bounds opt. Elements with low frequency are
+// tried first (they conflict with fewer others).
+func packingBound(in *setsystem.Instance) int {
+	// conflict[e] marks elements sharing a set with an already-chosen one.
+	conflict := bitset.New(in.N)
+	occ := make([][]int, in.N)
+	freq := make([]int, in.N)
+	for i, s := range in.Sets {
+		for _, e := range s {
+			occ[e] = append(occ[e], i)
+			freq[e]++
+		}
+	}
+	order := make([]int, in.N)
+	for e := range order {
+		order[e] = e
+	}
+	// Counting sort by frequency (frequencies are ≤ m).
+	maxF := 0
+	for _, f := range freq {
+		if f > maxF {
+			maxF = f
+		}
+	}
+	buckets := make([][]int, maxF+1)
+	for e, f := range freq {
+		buckets[f] = append(buckets[f], e)
+	}
+	order = order[:0]
+	for _, b := range buckets {
+		order = append(order, b...)
+	}
+
+	count := 0
+	for _, e := range order {
+		if freq[e] == 0 || conflict.Has(e) {
+			continue
+		}
+		count++
+		for _, si := range occ[e] {
+			for _, other := range in.Sets[si] {
+				conflict.Set(other)
+			}
+		}
+	}
+	return count
+}
+
+// OptAbove reports whether opt > k, using the cheap lower bound first and
+// falling back to the exact bounded search only when necessary. It is the
+// scalable form of the Lemma 3.2 gap check.
+func OptAbove(in *setsystem.Instance, k int, cfg ExactConfig) (bool, error) {
+	if LowerBound(in) > k {
+		return true, nil
+	}
+	opt, err := OptAtMost(in, k, cfg)
+	if err != nil {
+		return false, err
+	}
+	return opt > k, nil
+}

@@ -1,0 +1,134 @@
+package offline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"streamcover/internal/hardinst"
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+)
+
+func TestHarmonic(t *testing.T) {
+	if h := harmonic(1); h != 1 {
+		t.Fatalf("H_1 = %v", h)
+	}
+	if h := harmonic(4); math.Abs(h-(1+0.5+1.0/3+0.25)) > 1e-12 {
+		t.Fatalf("H_4 = %v", h)
+	}
+}
+
+func TestLowerBoundSimple(t *testing.T) {
+	// Disjoint triples: opt = 3, packing bound finds 3.
+	in := &setsystem.Instance{N: 9, Sets: [][]int{
+		{0, 1, 2}, {3, 4, 5}, {6, 7, 8},
+	}}
+	if lb := LowerBound(in); lb != 3 {
+		t.Fatalf("LowerBound = %d, want 3", lb)
+	}
+}
+
+func TestLowerBoundUncoverable(t *testing.T) {
+	in := &setsystem.Instance{N: 5, Sets: [][]int{{0, 1}}}
+	if lb := LowerBound(in); lb != 6 {
+		t.Fatalf("LowerBound = %d, want n+1 = 6", lb)
+	}
+}
+
+func TestLowerBoundEmptyUniverse(t *testing.T) {
+	if lb := LowerBound(&setsystem.Instance{N: 0}); lb != 0 {
+		t.Fatalf("LowerBound = %d, want 0", lb)
+	}
+}
+
+// Property: the certified lower bound never exceeds the true optimum.
+func TestQuickLowerBoundSound(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 8 + r.Intn(24)
+		m := 4 + r.Intn(12)
+		in := setsystem.Uniform(r, n, m, 1, n/2+1)
+		if !in.Coverable() {
+			return LowerBound(in) == in.N+1
+		}
+		exact, err := Exact(in, ExactConfig{})
+		if err != nil {
+			return false
+		}
+		return LowerBound(in) <= len(exact)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptAboveMatchesExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 8 + r.Intn(16)
+		m := 4 + r.Intn(10)
+		in := setsystem.Uniform(r, n, m, 1, n/2+1)
+		if !in.Coverable() {
+			ok, err := OptAbove(in, n, ExactConfig{})
+			return err == nil && ok // opt = ∞ > any k
+		}
+		exact, err := Exact(in, ExactConfig{})
+		if err != nil {
+			return false
+		}
+		for _, k := range []int{len(exact) - 1, len(exact), len(exact) + 1} {
+			if k < 0 {
+				continue
+			}
+			above, err := OptAbove(in, k, ExactConfig{})
+			if err != nil {
+				return false
+			}
+			if above != (len(exact) > k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptAboveOnHardInstance(t *testing.T) {
+	// The scalable gap check agrees with the exact one on D_SC.
+	p := hardinst.SCParams{N: 2048, M: 8, Alpha: 2}
+	r := rng.New(5)
+	sc1 := hardinst.SampleSetCover(p, 1, r)
+	above, err := OptAbove(sc1.Inst, 2, ExactConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if above {
+		t.Fatal("θ=1 instance reported opt > 2")
+	}
+	sc0 := hardinst.SampleSetCover(p, 0, r)
+	above, err = OptAbove(sc0.Inst, 2*p.Alpha, ExactConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !above {
+		t.Fatal("θ=0 instance not reported opt > 2α")
+	}
+}
+
+func TestPackingBoundOnPartition(t *testing.T) {
+	// A partition into k blocks has packing number exactly k.
+	in := &setsystem.Instance{N: 12, Sets: [][]int{
+		{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11},
+	}}
+	if pb := packingBound(in); pb != 3 {
+		t.Fatalf("packingBound = %d, want 3", pb)
+	}
+	// Overlapping sets shrink it.
+	in2 := &setsystem.Instance{N: 4, Sets: [][]int{{0, 1, 2, 3}, {0, 1}, {2, 3}}}
+	if pb := packingBound(in2); pb != 1 {
+		t.Fatalf("packingBound = %d, want 1", pb)
+	}
+}

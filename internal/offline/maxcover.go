@@ -1,0 +1,198 @@
+package offline
+
+import (
+	"streamcover/internal/bitset"
+	"streamcover/internal/setsystem"
+)
+
+// MaxCoverGreedy returns the classical greedy (1−1/e)-approximate maximum
+// k-coverage: the chosen set indices and the number of covered elements.
+// Fewer than k sets are returned if the whole union is covered early.
+func MaxCoverGreedy(in *setsystem.Instance, k int) ([]int, int) {
+	covered := bitset.New(in.N)
+	sets := in.Bitsets()
+	var chosen []int
+	total := 0
+	for len(chosen) < k {
+		bestSet, bestGain := -1, 0
+		for i, s := range sets {
+			if g := s.AndNotCount(covered); g > bestGain {
+				bestGain, bestSet = g, i
+			}
+		}
+		if bestSet < 0 {
+			break
+		}
+		chosen = append(chosen, bestSet)
+		covered.Or(sets[bestSet])
+		total += bestGain
+	}
+	return chosen, total
+}
+
+// MaxCoverPair returns the best pair of sets (k=2 maximum coverage) and its
+// coverage, by exhaustive O(m²) bitset evaluation with a top-size pruning
+// bound. This is the evaluator for the paper's D_MC instances, where k=2.
+func MaxCoverPair(in *setsystem.Instance) (i, j, coverage int) {
+	m := in.M()
+	if m == 0 {
+		return -1, -1, 0
+	}
+	if m == 1 {
+		return 0, 0, len(in.Sets[0])
+	}
+	sets := in.Bitsets()
+	sizes := make([]int, m)
+	for idx, s := range in.Sets {
+		sizes[idx] = len(s)
+	}
+	// Order by size descending for pruning: |Si ∪ Sj| ≤ |Si| + |Sj|.
+	order := make([]int, m)
+	for idx := range order {
+		order[idx] = idx
+	}
+	for a := 1; a < m; a++ { // insertion sort: m modest, keeps stdlib-only simplicity
+		for b := a; b > 0 && sizes[order[b]] > sizes[order[b-1]]; b-- {
+			order[b], order[b-1] = order[b-1], order[b]
+		}
+	}
+	best, bi, bj := -1, -1, -1
+	for a := 0; a < m; a++ {
+		ia := order[a]
+		if sizes[ia]+sizes[order[minInt(a+1, m-1)]] <= best && a+1 < m {
+			break // no remaining pair can beat best
+		}
+		for b := a + 1; b < m; b++ {
+			ib := order[b]
+			if sizes[ia]+sizes[ib] <= best {
+				break
+			}
+			if c := sets[ia].OrCount(sets[ib]); c > best {
+				best, bi, bj = c, ia, ib
+			}
+		}
+	}
+	return bi, bj, best
+}
+
+// MaxCoverExact returns an optimal k-coverage by branch-and-bound over set
+// choices with a greedy-completion upper bound. Intended for small k; it
+// returns ErrBudget if the node budget is exceeded.
+func MaxCoverExact(in *setsystem.Instance, k int, cfg ExactConfig) ([]int, int, error) {
+	if k <= 0 || in.M() == 0 {
+		return nil, 0, nil
+	}
+	if k >= in.M() {
+		all := make([]int, in.M())
+		for i := range all {
+			all[i] = i
+		}
+		return all, in.CoverageOf(all), nil
+	}
+	budget := cfg.NodeBudget
+	if budget == 0 {
+		budget = defaultNodeBudget
+	}
+	greedyChosen, greedyCov := MaxCoverGreedy(in, k)
+	e := &mcSearcher{
+		sets:    in.Bitsets(),
+		sizes:   make([]int, in.M()),
+		budget:  budget,
+		bestCov: greedyCov,
+		best:    append([]int(nil), greedyChosen...),
+	}
+	for i, s := range in.Sets {
+		e.sizes[i] = len(s)
+	}
+	covered := bitset.New(in.N)
+	if err := e.dfs(0, k, covered, 0); err != nil {
+		return nil, 0, err
+	}
+	return e.best, e.bestCov, nil
+}
+
+type mcSearcher struct {
+	sets    []*bitset.Bitset
+	sizes   []int
+	budget  int64
+	nodes   int64
+	best    []int
+	bestCov int
+	stack   []int
+}
+
+// dfs tries choosing sets from index `from` with `k` picks remaining.
+func (e *mcSearcher) dfs(from, k int, covered *bitset.Bitset, cov int) error {
+	e.nodes++
+	if e.nodes > e.budget {
+		return ErrBudget
+	}
+	if cov > e.bestCov {
+		e.bestCov = cov
+		e.best = append(e.best[:0], e.stack...)
+	}
+	if k == 0 || from >= len(e.sets) {
+		return nil
+	}
+	// Upper bound: current coverage + the k largest remaining set sizes
+	// (each gain is at most the set's size).
+	if ub := cov + sumKLargest(e.sizes[from:], k); ub <= e.bestCov {
+		return nil
+	}
+	for i := from; i < len(e.sets); i++ {
+		gain := e.sets[i].AndNotCount(covered)
+		if cov+gain+sumKLargest(e.sizes[i+1:], k-1) <= e.bestCov {
+			continue
+		}
+		next := covered.Clone()
+		next.Or(e.sets[i])
+		e.stack = append(e.stack, i)
+		if err := e.dfs(i+1, k-1, next, cov+gain); err != nil {
+			return err
+		}
+		e.stack = e.stack[:len(e.stack)-1]
+	}
+	return nil
+}
+
+func sumKLargest(sizes []int, k int) int {
+	if k <= 0 {
+		return 0
+	}
+	if k >= len(sizes) {
+		total := 0
+		for _, s := range sizes {
+			total += s
+		}
+		return total
+	}
+	// Small k in practice: selection by repeated max.
+	top := make([]int, 0, k)
+	for _, s := range sizes {
+		if len(top) < k {
+			top = append(top, s)
+			continue
+		}
+		mi, mv := 0, top[0]
+		for i, v := range top[1:] {
+			if v < mv {
+				mi, mv = i+1, v
+			}
+		}
+		if s > mv {
+			top[mi] = s
+		}
+	}
+	total := 0
+	for _, s := range top {
+		total += s
+	}
+	return total
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,299 @@
+package offline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamcover/internal/bitset"
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+)
+
+func TestGreedySimple(t *testing.T) {
+	in := &setsystem.Instance{N: 6, Sets: [][]int{
+		{0, 1, 2, 3}, // greedy picks this first
+		{0, 1},
+		{2, 3},
+		{4, 5},
+		{3, 4},
+	}}
+	cover, err := Greedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(cover) {
+		t.Fatalf("greedy output %v is not a cover", cover)
+	}
+	if len(cover) != 2 {
+		t.Fatalf("greedy size %d, want 2 (%v)", len(cover), cover)
+	}
+	if cover[0] != 0 || cover[1] != 3 {
+		t.Fatalf("greedy picked %v, want [0 3]", cover)
+	}
+}
+
+func TestGreedyInfeasible(t *testing.T) {
+	in := &setsystem.Instance{N: 3, Sets: [][]int{{0}, {1}}}
+	if _, err := Greedy(in); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestGreedyEmptyUniverse(t *testing.T) {
+	in := &setsystem.Instance{N: 0, Sets: [][]int{{}}}
+	cover, err := Greedy(in)
+	if err != nil || len(cover) != 0 {
+		t.Fatalf("cover=%v err=%v", cover, err)
+	}
+}
+
+func TestGreedyOnTarget(t *testing.T) {
+	in := &setsystem.Instance{N: 6, Sets: [][]int{{0, 1}, {2, 3}, {4, 5}}}
+	target := bitset.FromSlice(6, []int{0, 5})
+	cover, err := GreedyOn(in, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := bitset.New(6)
+	for _, i := range cover {
+		for _, e := range in.Sets[i] {
+			got.Set(e)
+		}
+	}
+	if !target.SubsetOf(got) {
+		t.Fatalf("target not covered by %v", cover)
+	}
+	if len(cover) != 2 {
+		t.Fatalf("cover = %v, want 2 sets", cover)
+	}
+}
+
+func TestCoverAtMost(t *testing.T) {
+	in := &setsystem.Instance{N: 4, Sets: [][]int{{0, 1}, {2, 3}, {0}, {1}, {2}, {3}}}
+	if _, ok, err := CoverAtMost(in, 1, ExactConfig{}); err != nil || ok {
+		t.Fatalf("size-1 cover reported: ok=%v err=%v", ok, err)
+	}
+	cover, ok, err := CoverAtMost(in, 2, ExactConfig{})
+	if err != nil || !ok {
+		t.Fatalf("size-2 cover missed: ok=%v err=%v", ok, err)
+	}
+	if !in.IsCover(cover) || len(cover) > 2 {
+		t.Fatalf("bad cover %v", cover)
+	}
+}
+
+func TestExactBeatsGreedyTrap(t *testing.T) {
+	// Classic greedy trap: greedy picks the big set first and needs 3 sets,
+	// optimum is 2.
+	in := &setsystem.Instance{N: 8, Sets: [][]int{
+		{0, 1, 2, 3, 4}, // bait
+		{0, 1, 2, 3},    // left half
+		{4, 5, 6, 7},    // right half
+	}}
+	greedy, err := Greedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Exact(in, ExactConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(exact) {
+		t.Fatalf("exact output not a cover: %v", exact)
+	}
+	if len(exact) != 2 {
+		t.Fatalf("exact size %d, want 2", len(exact))
+	}
+	if len(greedy) < len(exact) {
+		t.Fatalf("greedy %d beat exact %d", len(greedy), len(exact))
+	}
+}
+
+func TestOptAtMost(t *testing.T) {
+	in := &setsystem.Instance{N: 6, Sets: [][]int{{0, 1}, {2, 3}, {4, 5}, {0}, {5}}}
+	opt, err := OptAtMost(in, 5, ExactConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 3 {
+		t.Fatalf("opt = %d, want 3", opt)
+	}
+	// Capped below the optimum: reports k+1.
+	capped, err := OptAtMost(in, 2, ExactConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped != 3 {
+		t.Fatalf("capped opt = %d, want 3 (= k+1)", capped)
+	}
+}
+
+func TestExactBudget(t *testing.T) {
+	// Greedy overshoots k here (trap: bait set forces 3 greedy picks while
+	// opt=2), so the exhaustive search must run and exceed the 1-node
+	// budget on its first recursive call.
+	in := &setsystem.Instance{N: 8, Sets: [][]int{
+		{1, 2, 3, 4, 5, 6}, // bait
+		{0, 1, 2, 3},
+		{4, 5, 6, 7},
+	}}
+	if g, err := Greedy(in); err != nil || len(g) != 3 {
+		t.Fatalf("precondition: greedy = %v, %v (want 3 sets)", g, err)
+	}
+	_, _, err := CoverAtMost(in, 2, ExactConfig{NodeBudget: 1})
+	if err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestCoverAtMostGreedyShortCircuit(t *testing.T) {
+	// With a generous k the greedy certificate avoids the search entirely:
+	// even a 1-node budget succeeds.
+	in := &setsystem.Instance{N: 4, Sets: [][]int{{0, 1}, {2, 3}}}
+	cover, ok, err := CoverAtMost(in, 3, ExactConfig{NodeBudget: 1})
+	if err != nil || !ok || len(cover) > 3 {
+		t.Fatalf("cover=%v ok=%v err=%v", cover, ok, err)
+	}
+}
+
+// Property: on random instances, exact ≤ greedy and both are feasible covers.
+func TestQuickExactVsGreedy(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(20)
+		m := 5 + r.Intn(15)
+		in := setsystem.Uniform(r, n, m, 1, n/2+1)
+		if !in.Coverable() {
+			return true // nothing to compare
+		}
+		greedy, err := Greedy(in)
+		if err != nil {
+			return false
+		}
+		exact, err := Exact(in, ExactConfig{})
+		if err != nil {
+			return false
+		}
+		return in.IsCover(greedy) && in.IsCover(exact) && len(exact) <= len(greedy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlantedExactFindsPlant(t *testing.T) {
+	r := rng.New(3)
+	in, planted := setsystem.PlantedCover(r, 60, 20, 3, 0.5)
+	exact, err := Exact(in, ExactConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) > len(planted) {
+		t.Fatalf("exact %d worse than planted %d", len(exact), len(planted))
+	}
+}
+
+func TestMaxCoverGreedy(t *testing.T) {
+	in := &setsystem.Instance{N: 6, Sets: [][]int{{0, 1, 2}, {2, 3}, {4, 5}, {0}}}
+	chosen, cov := MaxCoverGreedy(in, 2)
+	if len(chosen) != 2 || cov != 5 {
+		t.Fatalf("greedy k=2: chosen=%v cov=%d, want cov 5", chosen, cov)
+	}
+	// k larger than needed: stops once everything is covered.
+	chosen, cov = MaxCoverGreedy(in, 10)
+	if cov != 6 {
+		t.Fatalf("cov = %d, want 6", cov)
+	}
+	if len(chosen) > 3 {
+		t.Fatalf("greedy picked redundant sets: %v", chosen)
+	}
+}
+
+func TestMaxCoverPair(t *testing.T) {
+	in := &setsystem.Instance{N: 8, Sets: [][]int{
+		{0, 1, 2},
+		{2, 3, 4},
+		{4, 5, 6, 7},
+		{0, 1, 2, 3}, // with set 2: covers all 8
+	}}
+	i, j, cov := MaxCoverPair(in)
+	if cov != 8 {
+		t.Fatalf("pair coverage %d, want 8 (pair %d,%d)", cov, i, j)
+	}
+	pair := map[int]bool{i: true, j: true}
+	if !pair[2] || !pair[3] {
+		t.Fatalf("pair = (%d,%d), want {2,3}", i, j)
+	}
+}
+
+func TestMaxCoverPairDegenerate(t *testing.T) {
+	if i, j, cov := MaxCoverPair(&setsystem.Instance{N: 5}); i != -1 || j != -1 || cov != 0 {
+		t.Fatalf("empty: %d %d %d", i, j, cov)
+	}
+	i, j, cov := MaxCoverPair(&setsystem.Instance{N: 5, Sets: [][]int{{1, 2}}})
+	if cov != 2 || i != 0 || j != 0 {
+		t.Fatalf("single: %d %d %d", i, j, cov)
+	}
+}
+
+func TestMaxCoverExactMatchesPairAndBeatsGreedy(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(20)
+		m := 3 + r.Intn(10)
+		in := setsystem.Uniform(r, n, m, 1, n/2+1)
+		_, _, pairCov := MaxCoverPair(in)
+		exact, exactCov, err := MaxCoverExact(in, 2, ExactConfig{})
+		if err != nil {
+			return false
+		}
+		if exactCov != pairCov {
+			return false
+		}
+		if got := in.CoverageOf(exact); got != exactCov {
+			return false
+		}
+		_, greedyCov := MaxCoverGreedy(in, 2)
+		return greedyCov <= exactCov
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCoverExactKGEM(t *testing.T) {
+	in := &setsystem.Instance{N: 4, Sets: [][]int{{0}, {1}}}
+	chosen, cov, err := MaxCoverExact(in, 5, ExactConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov != 2 || len(chosen) != 2 {
+		t.Fatalf("k≥m case: chosen=%v cov=%d", chosen, cov)
+	}
+}
+
+func TestSumKLargest(t *testing.T) {
+	sizes := []int{3, 9, 1, 7, 5}
+	cases := []struct{ k, want int }{{0, 0}, {1, 9}, {2, 16}, {3, 21}, {5, 25}, {10, 25}}
+	for _, c := range cases {
+		if got := sumKLargest(sizes, c.k); got != c.want {
+			t.Errorf("sumKLargest(k=%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	in := setsystem.Uniform(rng.New(1), 2000, 500, 20, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Greedy(in)
+	}
+}
+
+func BenchmarkExactSmall(b *testing.B) {
+	in, _ := setsystem.PlantedCover(rng.New(2), 200, 40, 4, 0.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Exact(in, ExactConfig{})
+	}
+}

@@ -1,0 +1,101 @@
+package setsystem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text codec uses a simple line format compatible with common set-cover
+// benchmark dumps:
+//
+//	setcover <n> <m>
+//	<id> e1 e2 e3 ...
+//	...
+//
+// Lines beginning with '#' are comments. Set IDs must be 0..m-1 and each
+// must appear exactly once; elements are whitespace-separated integers.
+
+// Write encodes the instance in the text format.
+func Write(w io.Writer, in *Instance) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "setcover %d %d\n", in.N, len(in.Sets)); err != nil {
+		return err
+	}
+	for i, s := range in.Sets {
+		if _, err := fmt.Fprintf(bw, "%d", i); err != nil {
+			return err
+		}
+		for _, e := range s {
+			if _, err := fmt.Fprintf(bw, " %d", e); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes an instance from the text format and validates it.
+func Read(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var in *Instance
+	seen := map[int]bool{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if in == nil {
+			if len(fields) != 3 || fields[0] != "setcover" {
+				return nil, fmt.Errorf("setsystem: line %d: expected header 'setcover <n> <m>'", line)
+			}
+			n, err1 := strconv.Atoi(fields[1])
+			m, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || n < 0 || m < 0 {
+				return nil, fmt.Errorf("setsystem: line %d: bad header values", line)
+			}
+			in = &Instance{N: n, Sets: make([][]int, m)}
+			continue
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil || id < 0 || id >= len(in.Sets) {
+			return nil, fmt.Errorf("setsystem: line %d: bad set id %q", line, fields[0])
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("setsystem: line %d: duplicate set id %d", line, id)
+		}
+		seen[id] = true
+		elems := make([]int, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			e, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("setsystem: line %d: bad element %q", line, f)
+			}
+			elems = append(elems, e)
+		}
+		in.Sets[id] = elems
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if in == nil {
+		return nil, fmt.Errorf("setsystem: empty input")
+	}
+	if len(seen) != len(in.Sets) {
+		return nil, fmt.Errorf("setsystem: %d of %d sets missing", len(in.Sets)-len(seen), len(in.Sets))
+	}
+	in.SortSets()
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}

@@ -1,0 +1,67 @@
+package setsystem
+
+import (
+	"sort"
+
+	"streamcover/internal/bitset"
+)
+
+// ReduceDominated removes duplicate and subsumed sets: a set S_i is dropped
+// when some kept S_j ⊇ S_i (ties keep the lower index). The reduced
+// instance has the same optimal cover value; kept maps reduced indices back
+// to original ones. This is the classical preprocessing step for offline
+// solvers (it shrinks branch-and-bound inputs, often substantially on
+// skewed workloads).
+func ReduceDominated(in *Instance) (reduced *Instance, kept []int) {
+	m := in.M()
+	if m == 0 {
+		return &Instance{N: in.N}, nil
+	}
+	// Sort indices by size descending: a set can only be subsumed by an
+	// earlier (larger-or-equal) one.
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	// Counting sort on size, then stable within size by index.
+	maxSize := 0
+	for _, s := range in.Sets {
+		if len(s) > maxSize {
+			maxSize = len(s)
+		}
+	}
+	buckets := make([][]int, maxSize+1)
+	for i, s := range in.Sets {
+		buckets[len(s)] = append(buckets[len(s)], i)
+	}
+	order = order[:0]
+	for size := maxSize; size >= 0; size-- {
+		order = append(order, buckets[size]...)
+	}
+
+	var keptBits []*bitset.Bitset
+	dominated := func(b *bitset.Bitset) bool {
+		for _, kb := range keptBits {
+			if b.SubsetOf(kb) {
+				return true
+			}
+		}
+		return false
+	}
+	keptOrig := make([]int, 0, m)
+	for _, i := range order {
+		b := in.Bitset(i)
+		if dominated(b) {
+			continue
+		}
+		keptBits = append(keptBits, b)
+		keptOrig = append(keptOrig, i)
+	}
+	// Restore original relative order for determinism and readability.
+	sort.Ints(keptOrig)
+	reduced = &Instance{N: in.N, Sets: make([][]int, len(keptOrig))}
+	for ri, oi := range keptOrig {
+		reduced.Sets[ri] = append([]int(nil), in.Sets[oi]...)
+	}
+	return reduced, keptOrig
+}

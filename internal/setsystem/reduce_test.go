@@ -1,0 +1,96 @@
+package setsystem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamcover/internal/bitset"
+	"streamcover/internal/rng"
+)
+
+func TestReduceDominatedBasic(t *testing.T) {
+	in := &Instance{N: 6, Sets: [][]int{
+		{0, 1, 2},
+		{0, 1}, // subsumed by 0
+		{3, 4, 5},
+		{3, 4, 5}, // duplicate of 2
+		{5},       // subsumed by 2
+		{2, 3},    // kept: not inside any other
+	}}
+	red, kept := ReduceDominated(in)
+	if len(kept) != 3 {
+		t.Fatalf("kept %v", kept)
+	}
+	want := map[int]bool{0: true, 2: true, 5: true}
+	for _, k := range kept {
+		if !want[k] {
+			t.Fatalf("kept unexpected set %d (%v)", k, kept)
+		}
+	}
+	if red.M() != 3 || red.N != 6 {
+		t.Fatalf("reduced = %+v", red)
+	}
+	if err := red.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceDominatedEmpty(t *testing.T) {
+	red, kept := ReduceDominated(&Instance{N: 5})
+	if red.M() != 0 || kept != nil {
+		t.Fatalf("empty reduce: %v %v", red, kept)
+	}
+}
+
+func TestReduceDominatedKeepsOneOfEqualDuplicates(t *testing.T) {
+	in := &Instance{N: 3, Sets: [][]int{{0, 1}, {0, 1}, {0, 1}}}
+	red, kept := ReduceDominated(in)
+	if red.M() != 1 || len(kept) != 1 {
+		t.Fatalf("dups not collapsed: %v", kept)
+	}
+}
+
+// Property: reduction preserves coverage semantics — the union is unchanged
+// and every original set is a subset of some kept set.
+func TestQuickReducePreservesCoverage(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 6 + r.Intn(30)
+		m := 1 + r.Intn(20)
+		in := Uniform(r, n, m, 0, n/2+1)
+		red, kept := ReduceDominated(in)
+		if len(kept) != red.M() {
+			return false
+		}
+		// Union unchanged.
+		all := make([]int, in.M())
+		for i := range all {
+			all[i] = i
+		}
+		allRed := make([]int, red.M())
+		for i := range allRed {
+			allRed[i] = i
+		}
+		if in.CoverageOf(all) != red.CoverageOf(allRed) {
+			return false
+		}
+		// Every original set fits inside a kept one.
+		for _, s := range in.Sets {
+			b := bitset.FromSlice(in.N, s)
+			found := false
+			for _, rs := range red.Sets {
+				if b.SubsetOf(bitset.FromSlice(in.N, rs)) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

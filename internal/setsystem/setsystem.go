@@ -1,0 +1,302 @@
+// Package setsystem defines set-cover instances — a universe [0, n) and a
+// collection of subsets — together with invariant checks, statistics, and
+// workload generators.
+//
+// An Instance is the at-rest representation; streaming algorithms never see
+// one directly but consume it through package stream one set at a time.
+package setsystem
+
+import (
+	"fmt"
+	"sort"
+
+	"streamcover/internal/bitset"
+	"streamcover/internal/rng"
+)
+
+// Instance is a set-cover (or maximum-coverage) instance: m subsets of the
+// universe [0, N). Sets[i] is sorted and duplicate-free.
+type Instance struct {
+	N    int
+	Sets [][]int
+}
+
+// M returns the number of sets.
+func (in *Instance) M() int { return len(in.Sets) }
+
+// Validate checks structural invariants: elements in range, sets sorted and
+// duplicate-free. It returns the first violation found.
+func (in *Instance) Validate() error {
+	if in.N < 0 {
+		return fmt.Errorf("setsystem: negative universe size %d", in.N)
+	}
+	for i, s := range in.Sets {
+		for j, e := range s {
+			if e < 0 || e >= in.N {
+				return fmt.Errorf("setsystem: set %d element %d out of range [0,%d)", i, e, in.N)
+			}
+			if j > 0 && s[j-1] >= e {
+				return fmt.Errorf("setsystem: set %d not sorted/unique at index %d", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Bitset returns set i as a bitset over [0, N).
+func (in *Instance) Bitset(i int) *bitset.Bitset {
+	return bitset.FromSlice(in.N, in.Sets[i])
+}
+
+// Bitsets materializes every set as a bitset. The result is O(m·n/64) words;
+// intended for offline solvers and verification, not streaming code.
+func (in *Instance) Bitsets() []*bitset.Bitset {
+	out := make([]*bitset.Bitset, len(in.Sets))
+	for i := range in.Sets {
+		out[i] = in.Bitset(i)
+	}
+	return out
+}
+
+// CoverageOf returns the number of distinct elements covered by the sets
+// with the given indices.
+func (in *Instance) CoverageOf(indices []int) int {
+	cov := bitset.New(in.N)
+	for _, i := range indices {
+		for _, e := range in.Sets[i] {
+			cov.Set(e)
+		}
+	}
+	return cov.Count()
+}
+
+// IsCover reports whether the given indices cover the entire universe.
+func (in *Instance) IsCover(indices []int) bool {
+	return in.CoverageOf(indices) == in.N
+}
+
+// Coverable reports whether the union of all sets is the universe, i.e.
+// whether a feasible set cover exists at all.
+func (in *Instance) Coverable() bool {
+	all := make([]int, len(in.Sets))
+	for i := range all {
+		all[i] = i
+	}
+	return in.IsCover(all)
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	sets := make([][]int, len(in.Sets))
+	for i, s := range in.Sets {
+		sets[i] = append([]int(nil), s...)
+	}
+	return &Instance{N: in.N, Sets: sets}
+}
+
+// Stats summarizes an instance for reporting.
+type Stats struct {
+	N, M                 int
+	MinSize, MaxSize     int
+	TotalSize            int     // Σ|S_i|, the "input size" a semi-streaming bound compares against
+	MeanSize             float64 //
+	ElementsCovered      int     // |∪S_i|
+	MaxElementFrequency  int     // how many sets the most frequent element is in
+	MeanElementFrequency float64
+}
+
+// ComputeStats scans the instance once and returns summary statistics.
+func ComputeStats(in *Instance) Stats {
+	st := Stats{N: in.N, M: len(in.Sets), MinSize: -1}
+	freq := make([]int, in.N)
+	for _, s := range in.Sets {
+		st.TotalSize += len(s)
+		if st.MinSize < 0 || len(s) < st.MinSize {
+			st.MinSize = len(s)
+		}
+		if len(s) > st.MaxSize {
+			st.MaxSize = len(s)
+		}
+		for _, e := range s {
+			freq[e]++
+		}
+	}
+	if st.MinSize < 0 {
+		st.MinSize = 0
+	}
+	if st.M > 0 {
+		st.MeanSize = float64(st.TotalSize) / float64(st.M)
+	}
+	sum := 0
+	for _, f := range freq {
+		if f > 0 {
+			st.ElementsCovered++
+		}
+		if f > st.MaxElementFrequency {
+			st.MaxElementFrequency = f
+		}
+		sum += f
+	}
+	if in.N > 0 {
+		st.MeanElementFrequency = float64(sum) / float64(in.N)
+	}
+	return st
+}
+
+// SortSets normalizes every set in place: sorted, duplicates removed.
+func (in *Instance) SortSets() {
+	for i, s := range in.Sets {
+		sort.Ints(s)
+		in.Sets[i] = dedupSorted(s)
+	}
+}
+
+func dedupSorted(s []int) []int {
+	if len(s) < 2 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// --- Generators -----------------------------------------------------------
+
+// Uniform returns an instance of m sets over [0, n) where each set is a
+// uniformly random k-subset with k drawn uniformly from [minSize, maxSize].
+func Uniform(r *rng.RNG, n, m, minSize, maxSize int) *Instance {
+	if minSize < 0 || maxSize > n || minSize > maxSize {
+		panic("setsystem: invalid size range")
+	}
+	sets := make([][]int, m)
+	for i := range sets {
+		k := minSize
+		if maxSize > minSize {
+			k += r.Intn(maxSize - minSize + 1)
+		}
+		sets[i] = r.KSubset(n, k)
+	}
+	return &Instance{N: n, Sets: sets}
+}
+
+// PlantedCover returns an instance with a planted optimal cover of exactly
+// optSize sets: the universe is partitioned into optSize blocks forming the
+// planted solution, and m−optSize decoy sets are random subsets whose sizes
+// follow the planted blocks but that (with high probability) cover poorly.
+// The planted indices are returned alongside; they are shuffled into random
+// positions.
+func PlantedCover(r *rng.RNG, n, m, optSize int, decoyFrac float64) (*Instance, []int) {
+	if optSize < 1 || optSize > m || optSize > n {
+		panic("setsystem: invalid planted cover size")
+	}
+	perm := r.Perm(n)
+	sets := make([][]int, 0, m)
+	// Planted blocks: near-equal partition of the permuted universe.
+	for b := 0; b < optSize; b++ {
+		lo := b * n / optSize
+		hi := (b + 1) * n / optSize
+		blk := append([]int(nil), perm[lo:hi]...)
+		sort.Ints(blk)
+		sets = append(sets, blk)
+	}
+	// Decoys: random subsets of decoyFrac·(n/optSize) elements.
+	decoySize := int(decoyFrac * float64(n) / float64(optSize))
+	if decoySize < 1 {
+		decoySize = 1
+	}
+	if decoySize > n {
+		decoySize = n
+	}
+	for i := optSize; i < m; i++ {
+		sets = append(sets, r.KSubset(n, decoySize))
+	}
+	// Shuffle set positions, tracking where the planted sets land.
+	pos := r.Perm(m)
+	shuffled := make([][]int, m)
+	planted := make([]int, 0, optSize)
+	for i, p := range pos {
+		shuffled[p] = sets[i]
+		if i < optSize {
+			planted = append(planted, p)
+		}
+	}
+	sort.Ints(planted)
+	return &Instance{N: n, Sets: shuffled}, planted
+}
+
+// Zipf returns an instance where set sizes follow a Zipf-like distribution
+// with exponent s (heavier heads for smaller s>1), capped at maxSize, and
+// element popularity is skewed: low-numbered elements appear in more sets.
+// This models the document/topic workloads motivating streaming set cover.
+func Zipf(r *rng.RNG, n, m int, s float64, maxSize int) *Instance {
+	if maxSize > n {
+		maxSize = n
+	}
+	sets := make([][]int, m)
+	for i := range sets {
+		k := r.Zipf(s, maxSize)
+		// Skewed element choice: mix uniform picks with popularity-biased
+		// picks (element ~ Zipf rank), then dedup.
+		seen := make(map[int]struct{}, k)
+		elems := make([]int, 0, k)
+		for len(elems) < k {
+			var e int
+			if r.Bernoulli(0.5) {
+				e = r.Intn(n)
+			} else {
+				e = r.Zipf(s, n) - 1
+			}
+			if _, ok := seen[e]; ok {
+				continue
+			}
+			seen[e] = struct{}{}
+			elems = append(elems, e)
+		}
+		sort.Ints(elems)
+		sets[i] = elems
+	}
+	return &Instance{N: n, Sets: sets}
+}
+
+// Clustered returns an instance where the universe is split into nClusters
+// contiguous clusters and each set draws most of its elements from a single
+// home cluster plus a few random outliers. This models topical corpora.
+func Clustered(r *rng.RNG, n, m, nClusters, setSize int, outlierFrac float64) *Instance {
+	if nClusters < 1 || nClusters > n {
+		panic("setsystem: invalid cluster count")
+	}
+	if setSize > n {
+		setSize = n
+	}
+	sets := make([][]int, m)
+	for i := range sets {
+		c := r.Intn(nClusters)
+		lo := c * n / nClusters
+		hi := (c + 1) * n / nClusters
+		inCluster := setSize - int(outlierFrac*float64(setSize))
+		if inCluster > hi-lo {
+			inCluster = hi - lo
+		}
+		seen := make(map[int]struct{}, setSize)
+		elems := make([]int, 0, setSize)
+		for _, e := range r.KSubset(hi-lo, inCluster) {
+			elems = append(elems, lo+e)
+			seen[lo+e] = struct{}{}
+		}
+		for len(elems) < setSize {
+			e := r.Intn(n)
+			if _, ok := seen[e]; ok {
+				continue
+			}
+			seen[e] = struct{}{}
+			elems = append(elems, e)
+		}
+		sort.Ints(elems)
+		sets[i] = elems
+	}
+	return &Instance{N: n, Sets: sets}
+}

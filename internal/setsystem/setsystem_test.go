@@ -1,0 +1,239 @@
+package setsystem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"streamcover/internal/rng"
+)
+
+func TestValidate(t *testing.T) {
+	good := &Instance{N: 5, Sets: [][]int{{0, 1}, {2, 4}, {}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	cases := []*Instance{
+		{N: 5, Sets: [][]int{{0, 5}}}, // out of range
+		{N: 5, Sets: [][]int{{-1}}},   // negative
+		{N: 5, Sets: [][]int{{2, 1}}}, // unsorted
+		{N: 5, Sets: [][]int{{1, 1}}}, // duplicate
+		{N: -1, Sets: nil},            // bad n
+	}
+	for i, in := range cases {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d: invalid instance accepted", i)
+		}
+	}
+}
+
+func TestCoverageAndIsCover(t *testing.T) {
+	in := &Instance{N: 6, Sets: [][]int{{0, 1, 2}, {2, 3}, {4, 5}, {0, 5}}}
+	if got := in.CoverageOf([]int{0, 1}); got != 4 {
+		t.Fatalf("CoverageOf = %d, want 4", got)
+	}
+	if in.IsCover([]int{0, 1}) {
+		t.Fatal("partial cover reported as full")
+	}
+	if !in.IsCover([]int{0, 1, 2}) {
+		t.Fatal("full cover not detected")
+	}
+	if !in.Coverable() {
+		t.Fatal("Coverable false for coverable instance")
+	}
+	bad := &Instance{N: 3, Sets: [][]int{{0}, {1}}}
+	if bad.Coverable() {
+		t.Fatal("Coverable true for uncoverable instance")
+	}
+}
+
+func TestStats(t *testing.T) {
+	in := &Instance{N: 4, Sets: [][]int{{0, 1}, {1, 2, 3}, {}}}
+	st := ComputeStats(in)
+	if st.N != 4 || st.M != 3 || st.MinSize != 0 || st.MaxSize != 3 || st.TotalSize != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ElementsCovered != 4 || st.MaxElementFrequency != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSortSets(t *testing.T) {
+	in := &Instance{N: 10, Sets: [][]int{{5, 3, 3, 1}, {9, 9}}}
+	in.SortSets()
+	if err := in.Validate(); err != nil {
+		t.Fatalf("after SortSets: %v", err)
+	}
+	if len(in.Sets[0]) != 3 || len(in.Sets[1]) != 1 {
+		t.Fatalf("dedup failed: %v", in.Sets)
+	}
+}
+
+func TestUniformGenerator(t *testing.T) {
+	r := rng.New(1)
+	in := Uniform(r, 100, 50, 5, 20)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.M() != 50 {
+		t.Fatalf("M = %d", in.M())
+	}
+	for i, s := range in.Sets {
+		if len(s) < 5 || len(s) > 20 {
+			t.Fatalf("set %d size %d outside [5,20]", i, len(s))
+		}
+	}
+}
+
+func TestPlantedCover(t *testing.T) {
+	r := rng.New(2)
+	in, planted := PlantedCover(r, 200, 40, 4, 0.8)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(planted) != 4 {
+		t.Fatalf("planted = %v", planted)
+	}
+	if !in.IsCover(planted) {
+		t.Fatal("planted sets do not cover the universe")
+	}
+	// Planted blocks partition the universe: total size = n.
+	total := 0
+	for _, i := range planted {
+		total += len(in.Sets[i])
+	}
+	if total != 200 {
+		t.Fatalf("planted blocks total %d elements, want 200 (partition)", total)
+	}
+}
+
+func TestZipfGenerator(t *testing.T) {
+	r := rng.New(3)
+	in := Zipf(r, 500, 100, 1.5, 50)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.M() != 100 {
+		t.Fatalf("M = %d", in.M())
+	}
+	for _, s := range in.Sets {
+		if len(s) < 1 || len(s) > 50 {
+			t.Fatalf("zipf set size %d", len(s))
+		}
+	}
+}
+
+func TestClusteredGenerator(t *testing.T) {
+	r := rng.New(4)
+	in := Clustered(r, 400, 80, 8, 30, 0.1)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Most sets should be concentrated: ≥70% of elements in one cluster.
+	concentrated := 0
+	for _, s := range in.Sets {
+		counts := make([]int, 8)
+		for _, e := range s {
+			counts[e/50]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		if float64(max) >= 0.7*float64(len(s)) {
+			concentrated++
+		}
+	}
+	if concentrated < 60 {
+		t.Fatalf("only %d/80 sets concentrated in a cluster", concentrated)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	in := Uniform(r, 64, 20, 0, 30)
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != in.N || got.M() != in.M() {
+		t.Fatalf("round trip header mismatch: %d/%d vs %d/%d", got.N, got.M(), in.N, in.M())
+	}
+	for i := range in.Sets {
+		if len(got.Sets[i]) != len(in.Sets[i]) {
+			t.Fatalf("set %d size mismatch", i)
+		}
+		for j := range in.Sets[i] {
+			if got.Sets[i][j] != in.Sets[i][j] {
+				t.Fatalf("set %d differs", i)
+			}
+		}
+	}
+}
+
+func TestCodecQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw)%64 + 1
+		m := int(mRaw) % 20
+		in := Uniform(rng.New(seed), n, m, 0, n)
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.N != in.N || got.M() != in.M() {
+			return false
+		}
+		for i := range in.Sets {
+			if len(got.Sets[i]) != len(in.Sets[i]) {
+				return false
+			}
+			for j := range in.Sets[i] {
+				if got.Sets[i][j] != in.Sets[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus 1 2",
+		"setcover 5\n",
+		"setcover 5 1\n3 0 1\n",    // bad id
+		"setcover 5 2\n0 1\n0 2\n", // duplicate id
+		"setcover 5 2\n0 1\n",      // missing set
+		"setcover 5 1\n0 1 x\n",    // bad element
+		"setcover 5 1\n0 9\n",      // element out of range
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# header comment\nsetcover 3 1\n\n# set\n0 0 1 2\n"
+	in, err := Read(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("comment case rejected: %v", err)
+	}
+	if in.N != 3 || in.M() != 1 {
+		t.Fatalf("comment case parsed wrong: %+v", in)
+	}
+}

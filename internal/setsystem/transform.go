@@ -1,0 +1,49 @@
+package setsystem
+
+import "sort"
+
+// Project returns the instance induced on a sub-universe: elements is a
+// sorted, duplicate-free subset of [0, N); element elements[i] becomes i in
+// the result, and every set is replaced by its intersection with the
+// sub-universe (empty projections are kept so set indices line up). This is
+// the "element sampling" view at the heart of Algorithm 1 and Lemma 3.12.
+func Project(in *Instance, elements []int) *Instance {
+	remap := make(map[int]int, len(elements))
+	for i, e := range elements {
+		if e < 0 || e >= in.N {
+			panic("setsystem: Project element out of range")
+		}
+		if _, dup := remap[e]; dup {
+			panic("setsystem: Project elements must be unique")
+		}
+		remap[e] = i
+	}
+	out := &Instance{N: len(elements), Sets: make([][]int, len(in.Sets))}
+	for si, s := range in.Sets {
+		var proj []int
+		for _, e := range s {
+			if idx, ok := remap[e]; ok {
+				proj = append(proj, idx)
+			}
+		}
+		sort.Ints(proj)
+		out.Sets[si] = proj
+	}
+	return out
+}
+
+// Merge concatenates the set collections of several instances over a common
+// universe n; set indices follow the concatenation order. It panics if any
+// input has a different universe size.
+func Merge(n int, ins ...*Instance) *Instance {
+	out := &Instance{N: n}
+	for _, in := range ins {
+		if in.N != n {
+			panic("setsystem: Merge universe mismatch")
+		}
+		for _, s := range in.Sets {
+			out.Sets = append(out.Sets, append([]int(nil), s...))
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package setsystem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamcover/internal/rng"
+)
+
+func TestProjectBasic(t *testing.T) {
+	in := &Instance{N: 10, Sets: [][]int{{0, 2, 4}, {1, 3}, {}}}
+	sub := Project(in, []int{2, 3, 4})
+	if sub.N != 3 || sub.M() != 3 {
+		t.Fatalf("projected shape %d/%d", sub.N, sub.M())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Set 0 keeps {2,4} → {0,2}; set 1 keeps {3} → {1}; set 2 empty.
+	if len(sub.Sets[0]) != 2 || sub.Sets[0][0] != 0 || sub.Sets[0][1] != 2 {
+		t.Fatalf("set 0 projected to %v", sub.Sets[0])
+	}
+	if len(sub.Sets[1]) != 1 || sub.Sets[1][0] != 1 {
+		t.Fatalf("set 1 projected to %v", sub.Sets[1])
+	}
+	if len(sub.Sets[2]) != 0 {
+		t.Fatalf("set 2 projected to %v", sub.Sets[2])
+	}
+}
+
+func TestProjectPanics(t *testing.T) {
+	in := &Instance{N: 5, Sets: [][]int{{0}}}
+	for _, elems := range [][]int{{7}, {-1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Project(%v) did not panic", elems)
+				}
+			}()
+			Project(in, elems)
+		}()
+	}
+}
+
+// Property: coverage of any index subset in the projection equals the
+// original coverage restricted to the sub-universe.
+func TestQuickProjectCoverage(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 8 + r.Intn(40)
+		m := 1 + r.Intn(10)
+		in := Uniform(r, n, m, 0, n/2+1)
+		k := 1 + r.Intn(n)
+		elems := r.KSubset(n, k)
+		sub := Project(in, elems)
+		inSub := map[int]bool{}
+		for _, e := range elems {
+			inSub[e] = true
+		}
+		pick := r.KSubset(m, 1+r.Intn(m))
+		// Original coverage restricted to elems.
+		covered := map[int]bool{}
+		for _, si := range pick {
+			for _, e := range in.Sets[si] {
+				if inSub[e] {
+					covered[e] = true
+				}
+			}
+		}
+		return sub.CoverageOf(pick) == len(covered)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Instance{N: 4, Sets: [][]int{{0, 1}}}
+	b := &Instance{N: 4, Sets: [][]int{{2}, {3}}}
+	merged := Merge(4, a, b)
+	if merged.M() != 3 || !merged.IsCover([]int{0, 1, 2}) {
+		t.Fatalf("merged = %+v", merged)
+	}
+	// Deep copy: mutating the merge must not touch the inputs.
+	merged.Sets[0][0] = 3
+	if a.Sets[0][0] != 0 {
+		t.Fatal("Merge aliased input slices")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge universe mismatch did not panic")
+		}
+	}()
+	Merge(5, a)
+}

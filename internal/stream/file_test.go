@@ -1,0 +1,154 @@
+package stream
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+)
+
+func writeTempInstance(t *testing.T, in *setsystem.Instance) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "inst.sc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setsystem.Write(f, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFileStreamMatchesInstanceStream(t *testing.T) {
+	in := setsystem.Uniform(rng.New(1), 100, 25, 0, 40)
+	path := writeTempInstance(t, in)
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if fs.Universe() != in.N || fs.Len() != in.M() {
+		t.Fatalf("header: %d/%d", fs.Universe(), fs.Len())
+	}
+	// Two passes: contents must match the instance exactly both times.
+	for pass := 0; pass < 2; pass++ {
+		fs.Reset()
+		count := 0
+		for {
+			item, ok := fs.Next()
+			if !ok {
+				break
+			}
+			want := in.Sets[item.ID]
+			if len(item.Elems) != len(want) {
+				t.Fatalf("pass %d set %d: %v != %v", pass, item.ID, item.Elems, want)
+			}
+			for i := range want {
+				if item.Elems[i] != want[i] {
+					t.Fatalf("pass %d set %d mismatch", pass, item.ID)
+				}
+			}
+			count++
+		}
+		if err := fs.Err(); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if count != in.M() {
+			t.Fatalf("pass %d: %d sets", pass, count)
+		}
+	}
+}
+
+func TestFileStreamDrivesAlgorithm(t *testing.T) {
+	in := setsystem.Uniform(rng.New(2), 64, 12, 4, 30)
+	path := writeTempInstance(t, in)
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	alg := &countingAlg{passesWanted: 3}
+	acc, err := Run(fs, alg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Passes != 3 || acc.Items != 36 {
+		t.Fatalf("acc = %+v", acc)
+	}
+	if fs.Err() != nil {
+		t.Fatal(fs.Err())
+	}
+}
+
+func TestFileStreamWithComments(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "inst.sc")
+	content := "# generated\nsetcover 5 2\n# first\n0 0 1\n\n1 2 3 4\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	fs.Reset()
+	n := 0
+	for {
+		if _, ok := fs.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if fs.Err() != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, fs.Err())
+	}
+}
+
+func TestFileStreamErrors(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.sc")
+	os.WriteFile(bad, []byte("not a header\n"), 0o644)
+	if _, err := OpenFile(bad); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	// Out-of-range element discovered mid-stream.
+	oor := filepath.Join(t.TempDir(), "oor.sc")
+	os.WriteFile(oor, []byte("setcover 3 1\n0 0 7\n"), 0o644)
+	fs, err := OpenFile(oor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	fs.Reset()
+	if _, ok := fs.Next(); ok {
+		t.Fatal("out-of-range element accepted")
+	}
+	if fs.Err() == nil {
+		t.Fatal("Err() nil after bad element")
+	}
+	// Missing sets detected at end of pass.
+	short := filepath.Join(t.TempDir(), "short.sc")
+	os.WriteFile(short, []byte("setcover 3 2\n0 0 1\n"), 0o644)
+	fs2, err := OpenFile(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	fs2.Reset()
+	for {
+		if _, ok := fs2.Next(); !ok {
+			break
+		}
+	}
+	if fs2.Err() == nil {
+		t.Fatal("missing set not reported")
+	}
+}

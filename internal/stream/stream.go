@@ -1,0 +1,245 @@
+// Package stream provides the multi-pass set-streaming substrate of
+// streamcover.
+//
+// The streaming set cover model (Saha–Getoor 2009; the model of the paper)
+// reveals the m input sets one at a time; an algorithm may take several
+// passes over the stream but must keep its working memory sublinear in the
+// input size m·n. This package defines:
+//
+//   - Stream: a resettable, one-at-a-time source of sets;
+//   - PassAlgorithm: the state-machine shape of a multi-pass algorithm;
+//   - Driver: runs a PassAlgorithm over a Stream while accounting for the
+//     number of passes and the peak working space in words;
+//   - arrival orders: adversarial (as given), a fixed random permutation
+//     (the paper's random arrival model), or a fresh shuffle every pass.
+//
+// Space is measured in words: one stored set ID or element ID counts as one
+// word. Algorithms report their current footprint via Space(); the Driver
+// polls it after every item and records the peak. This matches the paper's
+// accounting, which states bounds in (poly-log factors times) the number of
+// stored IDs rather than bits.
+package stream
+
+import (
+	"fmt"
+
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+)
+
+// Item is one stream element: a set and its identifier.
+// Elems is owned by the stream and must not be retained or mutated by
+// algorithms; copy what you keep (the copy is what you pay space for).
+type Item struct {
+	ID    int
+	Elems []int
+}
+
+// Stream is a resettable source of set items. Universe and Len are the
+// standard metadata (n and m) assumed known to streaming algorithms.
+type Stream interface {
+	Universe() int
+	Len() int
+	// Reset starts a new pass. It must be called before the first pass too.
+	Reset()
+	// Next returns the next item of the current pass, or ok=false at the end
+	// of the pass.
+	Next() (item Item, ok bool)
+}
+
+// Order selects the arrival order of the sets.
+type Order int
+
+const (
+	// Adversarial streams the sets exactly in instance order.
+	Adversarial Order = iota
+	// RandomOnce applies one random permutation, the same for every pass.
+	// This is the paper's random arrival model.
+	RandomOnce
+	// RandomEachPass applies a fresh random permutation on every pass.
+	RandomEachPass
+)
+
+func (o Order) String() string {
+	switch o {
+	case Adversarial:
+		return "adversarial"
+	case RandomOnce:
+		return "random-once"
+	case RandomEachPass:
+		return "random-each-pass"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+// InstanceStream streams an in-memory instance.
+type InstanceStream struct {
+	inst  *setsystem.Instance
+	order Order
+	r     *rng.RNG
+	perm  []int
+	pos   int
+}
+
+// FromInstance returns a stream over inst with the given arrival order.
+// The RNG is used only for the random orders and may be nil for Adversarial.
+func FromInstance(inst *setsystem.Instance, order Order, r *rng.RNG) *InstanceStream {
+	s := &InstanceStream{inst: inst, order: order, r: r}
+	s.perm = make([]int, inst.M())
+	for i := range s.perm {
+		s.perm[i] = i
+	}
+	if order == RandomOnce {
+		if r == nil {
+			panic("stream: RandomOnce requires an RNG")
+		}
+		r.Shuffle(len(s.perm), func(i, j int) { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] })
+	}
+	s.pos = inst.M() // force Reset before use
+	return s
+}
+
+// Universe returns the universe size n.
+func (s *InstanceStream) Universe() int { return s.inst.N }
+
+// Len returns the number of sets m.
+func (s *InstanceStream) Len() int { return s.inst.M() }
+
+// Reset starts a new pass.
+func (s *InstanceStream) Reset() {
+	if s.order == RandomEachPass {
+		if s.r == nil {
+			panic("stream: RandomEachPass requires an RNG")
+		}
+		s.r.Shuffle(len(s.perm), func(i, j int) { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] })
+	}
+	s.pos = 0
+}
+
+// Next returns the next set of the current pass.
+func (s *InstanceStream) Next() (Item, bool) {
+	if s.pos >= len(s.perm) {
+		return Item{}, false
+	}
+	id := s.perm[s.pos]
+	s.pos++
+	return Item{ID: id, Elems: s.inst.Sets[id]}, true
+}
+
+// PassAlgorithm is the state-machine shape of a multi-pass streaming
+// algorithm. The Driver calls BeginPass, then Observe for every item of the
+// pass, then EndPass; it stops when EndPass reports done (or the pass limit
+// is hit). Space must return the algorithm's current footprint in words.
+type PassAlgorithm interface {
+	BeginPass(pass int)
+	Observe(item Item)
+	EndPass() (done bool)
+	Space() int
+}
+
+// Accounting is the driver's measurement of a run.
+type Accounting struct {
+	Passes    int
+	PeakSpace int // peak words held at any point during the run
+	Items     int // total items observed across all passes
+}
+
+// ErrPassLimit is returned by Run when the algorithm did not finish within
+// the pass limit.
+type ErrPassLimit struct{ Limit int }
+
+func (e ErrPassLimit) Error() string {
+	return fmt.Sprintf("stream: algorithm did not finish within %d passes", e.Limit)
+}
+
+// Run drives alg over s until it reports done, recording passes and peak
+// space. maxPasses bounds the run (use a generous limit; it exists to turn
+// non-terminating bugs into errors).
+func Run(s Stream, alg PassAlgorithm, maxPasses int) (Accounting, error) {
+	var acc Accounting
+	for pass := 0; pass < maxPasses; pass++ {
+		s.Reset()
+		alg.BeginPass(pass)
+		if sp := alg.Space(); sp > acc.PeakSpace {
+			acc.PeakSpace = sp
+		}
+		for {
+			item, ok := s.Next()
+			if !ok {
+				break
+			}
+			alg.Observe(item)
+			acc.Items++
+			if sp := alg.Space(); sp > acc.PeakSpace {
+				acc.PeakSpace = sp
+			}
+		}
+		done := alg.EndPass()
+		if sp := alg.Space(); sp > acc.PeakSpace {
+			acc.PeakSpace = sp
+		}
+		acc.Passes = pass + 1
+		if done {
+			return acc, nil
+		}
+	}
+	return acc, ErrPassLimit{Limit: maxPasses}
+}
+
+// Parallel composes several PassAlgorithms that run over the same passes in
+// lockstep, the streaming analogue of running them "in parallel" on one
+// stream. It is done when every child is done; its space is the sum of the
+// children's (finished children keep paying for whatever state they retain,
+// e.g. their solution). Children that finish early stop receiving items.
+type Parallel struct {
+	children []PassAlgorithm
+	done     []bool
+}
+
+// NewParallel returns the parallel composition of the given algorithms.
+func NewParallel(children ...PassAlgorithm) *Parallel {
+	return &Parallel{children: children, done: make([]bool, len(children))}
+}
+
+// BeginPass implements PassAlgorithm.
+func (p *Parallel) BeginPass(pass int) {
+	for i, c := range p.children {
+		if !p.done[i] {
+			c.BeginPass(pass)
+		}
+	}
+}
+
+// Observe implements PassAlgorithm.
+func (p *Parallel) Observe(item Item) {
+	for i, c := range p.children {
+		if !p.done[i] {
+			c.Observe(item)
+		}
+	}
+}
+
+// EndPass implements PassAlgorithm.
+func (p *Parallel) EndPass() bool {
+	all := true
+	for i, c := range p.children {
+		if !p.done[i] {
+			p.done[i] = c.EndPass()
+		}
+		all = all && p.done[i]
+	}
+	return all
+}
+
+// Space implements PassAlgorithm.
+func (p *Parallel) Space() int {
+	sum := 0
+	for _, c := range p.children {
+		sum += c.Space()
+	}
+	return sum
+}
+
+// Children returns the composed algorithms, in order.
+func (p *Parallel) Children() []PassAlgorithm { return p.children }

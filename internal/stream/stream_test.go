@@ -1,0 +1,215 @@
+package stream
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+)
+
+func testInstance(m int) *setsystem.Instance {
+	sets := make([][]int, m)
+	for i := range sets {
+		sets[i] = []int{i % 7}
+	}
+	return &setsystem.Instance{N: 7, Sets: sets}
+}
+
+// collectIDs runs one pass and returns the IDs in arrival order.
+func collectIDs(s Stream) []int {
+	s.Reset()
+	var ids []int
+	for {
+		it, ok := s.Next()
+		if !ok {
+			return ids
+		}
+		ids = append(ids, it.ID)
+	}
+}
+
+func TestAdversarialOrder(t *testing.T) {
+	in := testInstance(10)
+	s := FromInstance(in, Adversarial, nil)
+	ids := collectIDs(s)
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("adversarial order changed: %v", ids)
+		}
+	}
+	// Same order on the next pass.
+	ids2 := collectIDs(s)
+	if len(ids2) != 10 {
+		t.Fatalf("second pass truncated: %v", ids2)
+	}
+}
+
+func TestRandomOnceIsPermutationAndStable(t *testing.T) {
+	in := testInstance(50)
+	s := FromInstance(in, RandomOnce, rng.New(1))
+	p1 := collectIDs(s)
+	p2 := collectIDs(s)
+	if len(p1) != 50 {
+		t.Fatalf("pass len %d", len(p1))
+	}
+	sorted := append([]int(nil), p1...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("not a permutation: %v", p1)
+		}
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("RandomOnce order changed between passes")
+		}
+	}
+	// It should actually shuffle (overwhelming probability).
+	identity := true
+	for i, v := range p1 {
+		if v != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		t.Fatal("RandomOnce produced identity permutation (suspicious)")
+	}
+}
+
+func TestRandomEachPassReshuffles(t *testing.T) {
+	in := testInstance(50)
+	s := FromInstance(in, RandomEachPass, rng.New(2))
+	p1 := collectIDs(s)
+	p2 := collectIDs(s)
+	same := true
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("RandomEachPass repeated the same order")
+	}
+}
+
+func TestNextBeforeResetEmpty(t *testing.T) {
+	s := FromInstance(testInstance(3), Adversarial, nil)
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next before Reset returned an item")
+	}
+}
+
+// countingAlg counts items for a fixed number of passes and reports a
+// configurable space profile.
+type countingAlg struct {
+	passesWanted int
+	pass         int
+	seen         int
+	spaceAt      func(seen int) int
+}
+
+func (c *countingAlg) BeginPass(pass int) { c.pass = pass }
+func (c *countingAlg) Observe(Item)       { c.seen++ }
+func (c *countingAlg) EndPass() bool      { return c.pass+1 >= c.passesWanted }
+func (c *countingAlg) Space() int {
+	if c.spaceAt == nil {
+		return 0
+	}
+	return c.spaceAt(c.seen)
+}
+
+func TestRunAccounting(t *testing.T) {
+	in := testInstance(20)
+	s := FromInstance(in, Adversarial, nil)
+	alg := &countingAlg{passesWanted: 3, spaceAt: func(seen int) int { return seen % 13 }}
+	acc, err := Run(s, alg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Passes != 3 {
+		t.Fatalf("Passes = %d", acc.Passes)
+	}
+	if acc.Items != 60 {
+		t.Fatalf("Items = %d", acc.Items)
+	}
+	if acc.PeakSpace != 12 {
+		t.Fatalf("PeakSpace = %d, want 12", acc.PeakSpace)
+	}
+}
+
+func TestRunPassLimit(t *testing.T) {
+	in := testInstance(5)
+	s := FromInstance(in, Adversarial, nil)
+	alg := &countingAlg{passesWanted: 100}
+	_, err := Run(s, alg, 4)
+	if _, ok := err.(ErrPassLimit); !ok {
+		t.Fatalf("err = %v, want ErrPassLimit", err)
+	}
+}
+
+func TestParallelComposition(t *testing.T) {
+	in := testInstance(10)
+	s := FromInstance(in, Adversarial, nil)
+	a := &countingAlg{passesWanted: 1, spaceAt: func(int) int { return 5 }}
+	b := &countingAlg{passesWanted: 3, spaceAt: func(int) int { return 7 }}
+	par := NewParallel(a, b)
+	acc, err := Run(s, par, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Passes != 3 {
+		t.Fatalf("Passes = %d, want max child passes 3", acc.Passes)
+	}
+	// a stops observing after its pass finishes.
+	if a.seen != 10 {
+		t.Fatalf("finished child kept observing: seen=%d", a.seen)
+	}
+	if b.seen != 30 {
+		t.Fatalf("running child missed items: seen=%d", b.seen)
+	}
+	// Space is additive (5+7), even after a finished.
+	if acc.PeakSpace != 12 {
+		t.Fatalf("PeakSpace = %d, want 12", acc.PeakSpace)
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if Adversarial.String() != "adversarial" || RandomOnce.String() != "random-once" ||
+		RandomEachPass.String() != "random-each-pass" {
+		t.Fatal("Order.String mismatch")
+	}
+	if Order(99).String() == "" {
+		t.Fatal("unknown order produced empty string")
+	}
+}
+
+// Property: a Parallel of one child behaves exactly like the child alone.
+func TestQuickParallelSingletonEquivalence(t *testing.T) {
+	f := func(mRaw, passesRaw uint8) bool {
+		m := int(mRaw)%20 + 1
+		passes := int(passesRaw)%4 + 1
+		in := testInstance(m)
+
+		solo := &countingAlg{passesWanted: passes, spaceAt: func(seen int) int { return seen }}
+		sSolo := FromInstance(in, Adversarial, nil)
+		accSolo, err1 := Run(sSolo, solo, passes+1)
+
+		child := &countingAlg{passesWanted: passes, spaceAt: func(seen int) int { return seen }}
+		par := NewParallel(child)
+		sPar := FromInstance(in, Adversarial, nil)
+		accPar, err2 := Run(sPar, par, passes+1)
+
+		return err1 == nil && err2 == nil &&
+			accSolo.Passes == accPar.Passes &&
+			accSolo.Items == accPar.Items &&
+			accSolo.PeakSpace == accPar.PeakSpace &&
+			solo.seen == child.seen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

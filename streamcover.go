@@ -1,0 +1,284 @@
+// Package streamcover is a Go implementation of multi-pass streaming set
+// cover and maximum coverage, reproducing "Tight Space-Approximation
+// Tradeoff for the Multi-Pass Streaming Set Cover Problem" (Sepehr Assadi,
+// PODS 2017).
+//
+// The headline algorithm is Assadi's refinement of Har-Peled et al.'s
+// streaming set cover (Algorithm 1 of the paper): for a chosen α ≥ 1 it
+// computes an (α+ε)-approximate set cover in 2α+1 passes over the set
+// stream while storing Õ(m·n^{1/α}/ε² + n/ε) words — provably the best
+// possible space for any α-approximation, by the paper's matching
+// Ω̃(m·n^{1/α}) lower bound.
+//
+// # Quick start
+//
+//	inst := streamcover.GenerateUniform(1, 10_000, 500, 50, 400)
+//	res, err := streamcover.SolveSetCover(inst, streamcover.WithAlpha(3))
+//	if err != nil { ... }
+//	fmt.Println(res.Cover, res.Passes, res.SpaceWords)
+//
+// The package also exposes streaming maximum k-coverage (SolveMaxCoverage),
+// offline reference solvers (GreedySetCover, ExactSetCover), workload
+// generators, instance (de)serialization, and generators for the paper's
+// hard distributions D_SC and D_MC with ground truth (GenerateHardSetCover,
+// GenerateHardMaxCoverage) — useful for benchmarking any streaming set
+// cover implementation against the information-theoretic limits.
+//
+// Internals follow the paper closely; see DESIGN.md for the construction-
+// by-construction mapping and EXPERIMENTS.md for the reproduced results.
+package streamcover
+
+import (
+	"fmt"
+	"io"
+
+	"streamcover/internal/core"
+	"streamcover/internal/maxcover"
+	"streamcover/internal/offline"
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+	"streamcover/internal/stream"
+)
+
+// Instance is a set cover / maximum coverage instance: m subsets of the
+// universe [0, N). Sets must be sorted and duplicate-free (call Normalize
+// after manual construction).
+type Instance = setsystem.Instance
+
+// Order selects the stream arrival order.
+type Order = stream.Order
+
+// Arrival orders.
+const (
+	// Adversarial streams sets in instance order.
+	Adversarial = stream.Adversarial
+	// RandomOnce applies one random permutation, fixed across passes (the
+	// paper's random arrival model).
+	RandomOnce = stream.RandomOnce
+	// RandomEachPass reshuffles before every pass.
+	RandomEachPass = stream.RandomEachPass
+)
+
+// options collects solver settings; modified via Option values.
+type options struct {
+	alpha     int
+	eps       float64
+	order     Order
+	seed      uint64
+	greedySub bool
+	sampleC   float64
+	optHint   int
+}
+
+func defaultOptions() options {
+	return options{alpha: 2, eps: 0.5, order: Adversarial, seed: 1}
+}
+
+// Option configures SolveSetCover and SolveMaxCoverage.
+type Option func(*options)
+
+// WithAlpha sets the approximation parameter α ≥ 1: the solver runs 2α+1
+// passes and stores Õ(m·n^{1/α}) words for an (α+ε)-approximation.
+func WithAlpha(alpha int) Option { return func(o *options) { o.alpha = alpha } }
+
+// WithEpsilon sets ε ∈ (0,1] (default 0.5): approximation slack and
+// õpt-guess grid resolution.
+func WithEpsilon(eps float64) Option { return func(o *options) { o.eps = eps } }
+
+// WithOrder sets the arrival order (default Adversarial).
+func WithOrder(order Order) Option { return func(o *options) { o.order = order } }
+
+// WithSeed makes the run deterministic for a given seed (default 1).
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithGreedySubsolver switches the per-iteration offline sub-solve from
+// exact (the paper's choice, needed for the (α+ε) guarantee) to greedy
+// (faster, O(α·log n)-approximate).
+func WithGreedySubsolver() Option { return func(o *options) { o.greedySub = true } }
+
+// WithSampleConstant overrides the element-sampling constant (the paper's
+// worst-case value is 16; smaller values use less space and remain safe on
+// typical inputs — see experiment E10).
+func WithSampleConstant(c float64) Option { return func(o *options) { o.sampleC = c } }
+
+// WithOptimumHint fixes the õpt guess to k instead of running the full
+// (1+ε)-geometric guess grid in parallel. Theorem 2's space bound is stated
+// for a given õpt; the grid costs an extra Õ(1/ε) factor, which dominates
+// at small n. If the hint is below the true optimum the solve fails with
+// ErrInfeasible — retry with a larger hint (or without one).
+func WithOptimumHint(k int) Option { return func(o *options) { o.optHint = k } }
+
+// SetCoverResult reports a streaming set cover run.
+type SetCoverResult struct {
+	// Cover is the chosen set indices, sorted, covering the universe.
+	Cover []int
+	// Guess is the õpt guess that produced the winning cover.
+	Guess int
+	// Passes is the number of stream passes used.
+	Passes int
+	// SpaceWords is the peak working-set size in words (one stored set or
+	// element ID = one word; the uncovered-element bitmaps count n words).
+	SpaceWords int
+}
+
+// SolveSetCover runs the paper's Algorithm 1 (with the õpt guessing
+// wrapper) over the instance as a multi-pass stream. It returns
+// ErrInfeasible if the sets cannot cover the universe.
+func SolveSetCover(inst *Instance, opts ...Option) (SetCoverResult, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := core.Config{Alpha: o.alpha, Epsilon: o.eps, SampleC: o.sampleC}
+	if o.greedySub {
+		cfg.Subsolver = core.SubsolverGreedy
+	}
+	if o.optHint > 0 {
+		cfg.OptGuesses = []int{o.optHint}
+	}
+	res, acc, err := core.Solve(inst, o.order, cfg, rng.New(o.seed))
+	if err != nil {
+		return SetCoverResult{}, err
+	}
+	return SetCoverResult{
+		Cover:      res.Cover,
+		Guess:      res.Guess,
+		Passes:     acc.Passes,
+		SpaceWords: acc.PeakSpace,
+	}, nil
+}
+
+// MaxCoverageResult reports a streaming maximum coverage run.
+type MaxCoverageResult struct {
+	// Chosen is the selected set indices (at most k), sorted.
+	Chosen []int
+	// Covered is the number of universe elements the chosen sets cover.
+	Covered int
+	// Passes and SpaceWords account the run as in SetCoverResult.
+	Passes     int
+	SpaceWords int
+}
+
+// SolveMaxCoverage runs the element-sampling (1−ε)-approximate streaming
+// maximum k-coverage algorithm (single pass). The sampled sub-instance is
+// solved exactly by default, which is exponential in k in the worst case;
+// pass WithGreedySubsolver for k beyond ~3 (costing the usual (1−1/e)
+// greedy factor on the sample).
+func SolveMaxCoverage(inst *Instance, k int, opts ...Option) (MaxCoverageResult, error) {
+	o := defaultOptions()
+	o.eps = 0.1
+	for _, opt := range opts {
+		opt(&o)
+	}
+	r := rng.New(o.seed)
+	alg := maxcover.NewSampledKCover(inst.N, inst.M(), maxcover.SampledConfig{
+		K: k, Eps: o.eps, Exact: !o.greedySub, SampleC: o.sampleC,
+	}, r.Split("sample"))
+	var orderRNG *rng.RNG
+	if o.order != Adversarial {
+		orderRNG = r.Split("order")
+	}
+	s := stream.FromInstance(inst, o.order, orderRNG)
+	acc, err := stream.Run(s, alg, 2)
+	if err != nil {
+		return MaxCoverageResult{}, err
+	}
+	chosen, aerr := alg.Result()
+	if aerr != nil {
+		return MaxCoverageResult{}, aerr
+	}
+	return MaxCoverageResult{
+		Chosen:     chosen,
+		Covered:    inst.CoverageOf(chosen),
+		Passes:     acc.Passes,
+		SpaceWords: acc.PeakSpace,
+	}, nil
+}
+
+// ErrInfeasible is returned when no set cover exists.
+var ErrInfeasible = offline.ErrInfeasible
+
+// GreedySetCover is the offline greedy (ln n)-approximation, for reference
+// and verification.
+func GreedySetCover(inst *Instance) ([]int, error) {
+	return offline.Greedy(inst)
+}
+
+// ExactSetCover computes an optimal cover by branch-and-bound. Exponential
+// in the worst case; intended for small instances and verification.
+func ExactSetCover(inst *Instance) ([]int, error) {
+	return offline.Exact(inst, offline.ExactConfig{})
+}
+
+// GreedyMaxCoverage is the offline greedy (1−1/e)-approximate maximum
+// k-coverage: the chosen indices and their coverage.
+func GreedyMaxCoverage(inst *Instance, k int) ([]int, int) {
+	return offline.MaxCoverGreedy(inst, k)
+}
+
+// GenerateUniform returns m uniformly random sets over [0, n) with sizes in
+// [minSize, maxSize].
+func GenerateUniform(seed uint64, n, m, minSize, maxSize int) *Instance {
+	return setsystem.Uniform(rng.New(seed), n, m, minSize, maxSize)
+}
+
+// GeneratePlanted returns an instance with a planted optimal cover of
+// optSize sets (returned as the second value) among decoys.
+func GeneratePlanted(seed uint64, n, m, optSize int) (*Instance, []int) {
+	return setsystem.PlantedCover(rng.New(seed), n, m, optSize, 0.6)
+}
+
+// GenerateZipf returns an instance with Zipf-distributed set sizes and
+// skewed element popularity (document/topic-style workloads).
+func GenerateZipf(seed uint64, n, m int, exponent float64, maxSize int) *Instance {
+	return setsystem.Zipf(rng.New(seed), n, m, exponent, maxSize)
+}
+
+// GenerateClustered returns an instance whose sets concentrate in topical
+// clusters of the universe.
+func GenerateClustered(seed uint64, n, m, clusters, setSize int) *Instance {
+	return setsystem.Clustered(rng.New(seed), n, m, clusters, setSize, 0.1)
+}
+
+// ReadInstance decodes an instance from the text format ("setcover n m"
+// header, then one "id e1 e2 ..." line per set).
+func ReadInstance(r io.Reader) (*Instance, error) { return setsystem.Read(r) }
+
+// WriteInstance encodes an instance in the text format.
+func WriteInstance(w io.Writer, inst *Instance) error { return setsystem.Write(w, inst) }
+
+// Stats summarizes an instance.
+type Stats = setsystem.Stats
+
+// ComputeStats scans the instance once and returns summary statistics.
+func ComputeStats(inst *Instance) Stats { return setsystem.ComputeStats(inst) }
+
+// Validate checks instance invariants and reports the first violation.
+func Validate(inst *Instance) error { return inst.Validate() }
+
+// Normalize sorts every set and removes duplicate elements in place.
+func Normalize(inst *Instance) { inst.SortSets() }
+
+// String renders a one-line summary of a result.
+func (r SetCoverResult) String() string {
+	return fmt.Sprintf("cover=%d sets (guess %d), %d passes, %d words",
+		len(r.Cover), r.Guess, r.Passes, r.SpaceWords)
+}
+
+// String renders a one-line summary of a result.
+func (r MaxCoverageResult) String() string {
+	return fmt.Sprintf("chose %d sets covering %d elements, %d passes, %d words",
+		len(r.Chosen), r.Covered, r.Passes, r.SpaceWords)
+}
+
+// ProjectInstance returns the instance induced on a sub-universe: elements
+// (sorted, unique) become [0, len(elements)) and every set is intersected
+// with them. This is the element-sampling view used throughout the paper.
+func ProjectInstance(inst *Instance, elements []int) *Instance {
+	return setsystem.Project(inst, elements)
+}
+
+// MergeInstances concatenates set collections over a common universe n.
+func MergeInstances(n int, ins ...*Instance) *Instance {
+	return setsystem.Merge(n, ins...)
+}
