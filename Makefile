@@ -1,0 +1,36 @@
+# Development targets, kept in lockstep with .github/workflows/ci.yml:
+# `make ci` runs exactly the checks CI runs.
+
+GO ?= go
+
+.PHONY: all fmt fmt-check vet build test bench ci
+
+all: build
+
+## fmt: rewrite all Go files with gofmt
+fmt:
+	gofmt -w .
+
+## fmt-check: fail if any file needs gofmt (what CI runs)
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: full test suite under the race detector
+test:
+	$(GO) test -race ./...
+
+## bench: benchmark smoke — every benchmark once, no timing rigor
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+## ci: the full CI sequence, locally
+ci: fmt-check vet build test bench

@@ -1,6 +1,8 @@
 package streamcover
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"streamcover/internal/experiments"
@@ -118,5 +120,58 @@ func BenchmarkGreedySetCover(b *testing.B) {
 func BenchmarkGenerateHardSetCover(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		GenerateHardSetCover(uint64(i), 4096, 32, 2, i%2)
+	}
+}
+
+// --- Sequential vs parallel benchmarks --------------------------------------
+
+// benchWorkerCounts is the worker-count axis of the parallel benchmarks:
+// 1 (the sequential reference), 2, 4, and GOMAXPROCS, deduplicated. On a
+// machine with GOMAXPROCS >= 4 the guess-grid benchmark below should show
+// >= 2x speedup of workers=4 over workers=1 (the grid runs ~20 independent
+// guesses per pass).
+func benchWorkerCounts() []int {
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range counts {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// BenchmarkSolveSetCoverGuessGrid measures the end-to-end solver on the full
+// (1+ε)-geometric õpt guess grid — the paper's agnostic wrapper, the hot
+// path WithParallelism accelerates — across worker counts.
+func BenchmarkSolveSetCoverGuessGrid(b *testing.B) {
+	inst, _ := GeneratePlanted(1, 8192, 1024, 6)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveSetCover(inst, WithAlpha(3), WithSeed(7),
+					WithSampleConstant(2), WithParallelism(w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveMaxCoverageParallel measures the streaming k-cover's greedy
+// sub-solve, whose per-round candidate gain scan fans out across workers.
+func BenchmarkSolveMaxCoverageParallel(b *testing.B) {
+	inst := GenerateUniform(2, 8192, 512, 256, 1024)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveMaxCoverage(inst, 8, WithSeed(7),
+					WithGreedySubsolver(), WithParallelism(w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

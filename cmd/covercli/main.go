@@ -28,16 +28,17 @@ import (
 
 func main() {
 	var (
-		in    = flag.String("in", "", "instance file (text format); empty means -gen")
-		gen   = flag.String("gen", "planted", "generator: planted, uniform, zipf, clustered")
-		n     = flag.Int("n", 4096, "universe size (generators)")
-		m     = flag.Int("m", 512, "number of sets (generators)")
-		opt   = flag.Int("opt", 4, "planted optimum size (gen=planted)")
-		algo  = flag.String("algo", "alg1", "alg1, progressive, storeall, greedy, exact")
-		alpha = flag.Int("alpha", 2, "approximation parameter α (alg1)")
-		eps   = flag.Float64("eps", 0.5, "ε (alg1)")
-		order = flag.String("order", "adversarial", "arrival order: adversarial, random")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		in      = flag.String("in", "", "instance file (text format); empty means -gen")
+		gen     = flag.String("gen", "planted", "generator: planted, uniform, zipf, clustered")
+		n       = flag.Int("n", 4096, "universe size (generators)")
+		m       = flag.Int("m", 512, "number of sets (generators)")
+		opt     = flag.Int("opt", 4, "planted optimum size (gen=planted)")
+		algo    = flag.String("algo", "alg1", "alg1, progressive, storeall, greedy, exact")
+		alpha   = flag.Int("alpha", 2, "approximation parameter α (alg1)")
+		eps     = flag.Float64("eps", 0.5, "ε (alg1)")
+		order   = flag.String("order", "adversarial", "arrival order: adversarial, random")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "guess-grid worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical at every value")
 	)
 	flag.Parse()
 
@@ -45,7 +46,7 @@ func main() {
 	// without materializing it (stream.FileStream); the in-memory instance
 	// is still loaded for stats and verification.
 	if *in != "" && *algo == "alg1" && *order == "adversarial" {
-		runFileStreaming(*in, *alpha, *eps, *seed)
+		runFileStreaming(*in, *alpha, *eps, *seed, *workers)
 		return
 	}
 	inst, err := loadInstance(*in, *gen, *n, *m, *opt, *seed)
@@ -66,7 +67,8 @@ func main() {
 	case "alg1":
 		res, err := streamcover.SolveSetCover(inst,
 			streamcover.WithAlpha(*alpha), streamcover.WithEpsilon(*eps),
-			streamcover.WithOrder(ord), streamcover.WithSeed(*seed))
+			streamcover.WithOrder(ord), streamcover.WithSeed(*seed),
+			streamcover.WithParallelism(*workers))
 		if err != nil {
 			fatal(err)
 		}
@@ -107,16 +109,16 @@ func main() {
 // runFileStreaming drives Algorithm 1 directly over a file-backed stream:
 // each pass re-reads the file, so instances larger than memory work as
 // long as the algorithm's own footprint fits.
-func runFileStreaming(path string, alpha int, eps float64, seed uint64) {
+func runFileStreaming(path string, alpha int, eps float64, seed uint64, workers int) {
 	fs, err := stream.OpenFile(path)
 	if err != nil {
 		fatal(err)
 	}
 	defer fs.Close()
 	fmt.Printf("instance (file-streamed): n=%d m=%d\n", fs.Universe(), fs.Len())
-	cfg := core.Config{Alpha: alpha, Epsilon: eps}
+	cfg := core.Config{Alpha: alpha, Epsilon: eps, Workers: workers}
 	solver := core.NewSolver(fs.Universe(), fs.Len(), cfg, rng.New(seed))
-	acc, err := stream.Run(fs, solver, cfg.MaxPasses()+1)
+	acc, err := solver.Run(fs, cfg.MaxPasses()+1)
 	if err != nil {
 		fatal(err)
 	}

@@ -20,10 +20,11 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiment IDs (E1..E12) or 'all'")
-		seed   = flag.Uint64("seed", 20170601, "random seed (tables are deterministic per seed)")
-		quick  = flag.Bool("quick", false, "reduced sizes and trial counts")
-		format = flag.String("format", "md", "output format: md or csv")
+		exp     = flag.String("exp", "all", "comma-separated experiment IDs (E1..E12) or 'all'")
+		seed    = flag.Uint64("seed", 20170601, "random seed (tables are deterministic per seed)")
+		quick   = flag.Bool("quick", false, "reduced sizes and trial counts")
+		format  = flag.String("format", "md", "output format: md or csv")
+		workers = flag.Int("workers", 0, "guess-grid worker goroutines (0 = GOMAXPROCS, 1 = sequential); tables are identical at every value")
 	)
 	flag.Parse()
 
@@ -34,7 +35,7 @@ func main() {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
 	for _, id := range ids {
 		start := time.Now()
 		table, err := experiments.Run(id, cfg)

@@ -30,6 +30,7 @@ import (
 
 	"streamcover/internal/bitset"
 	"streamcover/internal/offline"
+	"streamcover/internal/parallel"
 	"streamcover/internal/rng"
 	"streamcover/internal/setsystem"
 	"streamcover/internal/stream"
@@ -94,6 +95,12 @@ type Config struct {
 	// the optimum approximately can pass a short list — Algorithm 1 proper
 	// (Theorem 2's statement) assumes õpt is given.
 	OptGuesses []int
+	// Workers is the multi-core parallelism of the guess grid: Solve fans
+	// the per-guess runs out to this many workers via internal/parallel.
+	// 0 selects GOMAXPROCS; 1 forces the sequential driver. The result is
+	// bit-identical at every value (each guess owns an RNG split from the
+	// root seed and observes the full stream in arrival order).
+	Workers int
 }
 
 func (c *Config) withDefaults() Config {
@@ -476,7 +483,8 @@ func Guesses(n int, eps float64) []int {
 // passes, as the paper prescribes, and reports the smallest feasible cover.
 type Solver struct {
 	*stream.Parallel
-	runs []*Run
+	runs    []*Run
+	workers int
 }
 
 // NewSolver builds the parallel guess runner for a stream with universe n
@@ -493,7 +501,22 @@ func NewSolver(n, m int, cfg Config, r *rng.RNG) *Solver {
 		runs[i] = NewRun(n, m, g, c, r.Split(fmt.Sprintf("guess-%d", g)))
 		algs[i] = runs[i]
 	}
-	return &Solver{Parallel: stream.NewParallel(algs...), runs: runs}
+	return &Solver{Parallel: stream.NewParallel(algs...), runs: runs, workers: c.Workers}
+}
+
+// Run drives the solver over st for up to maxPasses passes at the
+// guess-grid parallelism of the Config it was built with: Workers == 1 uses
+// the sequential lockstep driver (stream.Run over the Parallel composition);
+// any other value fans the per-guess runs out to that many goroutines
+// (0 = GOMAXPROCS) via parallel.Run. Results and accounting are
+// bit-identical at every worker count — each guess owns an RNG split from
+// the root seed and observes the full stream in arrival order (see
+// internal/parallel's determinism contract).
+func (s *Solver) Run(st stream.Stream, maxPasses int) (stream.Accounting, error) {
+	if s.workers == 1 {
+		return stream.Run(st, s, maxPasses)
+	}
+	return parallel.Run(st, s.Children(), parallel.Config{Workers: s.workers, MaxPasses: maxPasses})
 }
 
 // Best returns the smallest feasible cover across guesses. ok is false when
@@ -523,7 +546,7 @@ func Solve(inst *setsystem.Instance, order stream.Order, cfg Config, r *rng.RNG)
 	c := cfg.withDefaults()
 	s := stream.FromInstance(inst, order, r.Split("stream-order"))
 	solver := NewSolver(inst.N, inst.M(), c, r)
-	acc, err := stream.Run(s, solver, c.MaxPasses()+1)
+	acc, err := solver.Run(s, c.MaxPasses()+1)
 	if err != nil {
 		return Result{}, acc, err
 	}

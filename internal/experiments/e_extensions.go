@@ -128,10 +128,10 @@ func E14GuessGridOverhead(cfg Config) (*Table, error) {
 				continue
 			}
 			solver := core.NewSolver(inst.N, inst.M(),
-				core.Config{Alpha: alpha, Epsilon: eps, SampleC: 2},
+				core.Config{Alpha: alpha, Epsilon: eps, SampleC: 2, Workers: cfg.Workers},
 				r.Split(fmt.Sprintf("g-%d-%v", alpha, eps)))
 			s2 := stream.FromInstance(inst, stream.Adversarial, nil)
-			accG, err := stream.Run(s2, solver, core.Passes(alpha)+1)
+			accG, err := solver.Run(s2, core.Passes(alpha)+1)
 			if err != nil {
 				return nil, err
 			}

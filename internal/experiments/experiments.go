@@ -20,6 +20,10 @@ type Config struct {
 	Seed uint64
 	// Quick shrinks sizes and trial counts for tests and benchmarks.
 	Quick bool
+	// Workers is the guess-grid parallelism for experiments that run the
+	// full õpt grid (0 = GOMAXPROCS, 1 = sequential). Tables are identical
+	// at every value; only wall-clock time changes.
+	Workers int
 }
 
 // Table is one experiment's output.

@@ -43,6 +43,11 @@ type SampledConfig struct {
 	Exact bool
 	// NodeBudget bounds the exact sub-solve (0 = offline default).
 	NodeBudget int64
+	// Workers is the parallelism of the greedy sub-solve's per-round
+	// candidate gain scan (0 = GOMAXPROCS, 1 = sequential). The chosen sets
+	// are identical at every worker count: ties break toward the lowest set
+	// index exactly as in the sequential scan.
+	Workers int
 }
 
 // SampledKCover is the element-sampling streaming maximum coverage
@@ -138,7 +143,7 @@ func (a *SampledKCover) EndPass() bool {
 		}
 		picked = chosen
 	} else {
-		picked, _ = offline.MaxCoverGreedy(sub, a.cfg.K)
+		picked, _ = offline.MaxCoverGreedyWorkers(sub, a.cfg.K, a.cfg.Workers)
 	}
 	for _, local := range picked {
 		a.chosen = append(a.chosen, a.projIDs[local])

@@ -2,6 +2,7 @@ package offline
 
 import (
 	"streamcover/internal/bitset"
+	"streamcover/internal/parallel"
 	"streamcover/internal/setsystem"
 )
 
@@ -9,23 +10,31 @@ import (
 // k-coverage: the chosen set indices and the number of covered elements.
 // Fewer than k sets are returned if the whole union is covered early.
 func MaxCoverGreedy(in *setsystem.Instance, k int) ([]int, int) {
+	return MaxCoverGreedyWorkers(in, k, 1)
+}
+
+// MaxCoverGreedyWorkers is MaxCoverGreedy with the per-round candidate gain
+// scan fanned out across workers (<= 0 selects GOMAXPROCS, matching the
+// convention of core.Config.Workers): each round evaluates every candidate's
+// marginal coverage concurrently and takes the deterministic argmax (highest
+// gain, lowest index on ties — the same set the sequential scan picks), so
+// the chosen cover is bit-identical at every worker count.
+func MaxCoverGreedyWorkers(in *setsystem.Instance, k, workers int) ([]int, int) {
+	w := parallel.Workers(workers)
 	covered := bitset.New(in.N)
 	sets := in.Bitsets()
 	var chosen []int
 	total := 0
 	for len(chosen) < k {
-		bestSet, bestGain := -1, 0
-		for i, s := range sets {
-			if g := s.AndNotCount(covered); g > bestGain {
-				bestGain, bestSet = g, i
-			}
-		}
-		if bestSet < 0 {
+		best, gain := parallel.ArgMax(w, len(sets), func(i int) int {
+			return sets[i].AndNotCount(covered)
+		})
+		if best < 0 || gain == 0 {
 			break
 		}
-		chosen = append(chosen, bestSet)
-		covered.Or(sets[bestSet])
-		total += bestGain
+		chosen = append(chosen, best)
+		covered.Or(sets[best])
+		total += gain
 	}
 	return chosen, total
 }

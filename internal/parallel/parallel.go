@@ -1,0 +1,278 @@
+// Package parallel is the multi-core scheduling layer of streamcover.
+//
+// The paper's õpt-guessing wrapper runs a (1+ε)-geometric grid of Algorithm 1
+// instances "in parallel" over the same stream passes; the guesses are
+// logically independent, so nothing forces them onto one core. Run drives a
+// slice of stream.PassAlgorithm children over a stream concurrently: the
+// stream is still read exactly once per pass (by the producer goroutine) and
+// its items are fanned out read-only, in chunks, to a pool of workers, each
+// of which owns a static partition of the children. Per-guess offline
+// sub-solves (Algorithm 1 step 3(c)) happen inside EndPass and therefore run
+// concurrently across guesses too.
+//
+// # Determinism contract
+//
+// For a fixed root seed the outcome is bit-identical at every worker count:
+//
+//   - every child observes the full pass in stream arrival order, because
+//     items are broadcast (not sharded) and each child is driven by exactly
+//     one worker;
+//   - children never share mutable state — in particular each child owns an
+//     RNG split deterministically from the root seed at construction time;
+//   - accounting is pass-synchronized (below), so Accounting is a pure
+//     function of the children and the stream, not of Config.Workers.
+//
+// # Accounting parity
+//
+// Run reproduces the accounting of the sequential driver (stream.Run over a
+// stream.Parallel composition): Items counts every item read per pass, Passes
+// counts passes until all children finish, and PeakSpace is the peak of the
+// summed child footprints sampled after BeginPass, after the last observed
+// item, and after EndPass of each pass. This equals the sequential driver's
+// per-item peak whenever each child's Space() is non-decreasing within a
+// pass's Observe phase — true of every algorithm in this repository (space
+// only grows as projections/solutions are stored; it shrinks only across
+// EndPass boundaries). For a non-monotone child the reported peak is still
+// deterministic, but is a lower bound on the sequential per-item sample.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+
+	"streamcover/internal/stream"
+)
+
+// Config parameterizes Run.
+type Config struct {
+	// Workers is the number of worker goroutines; <= 0 selects
+	// runtime.GOMAXPROCS(0). The effective count never exceeds the number
+	// of still-active children.
+	Workers int
+	// MaxPasses bounds the run; Run returns stream.ErrPassLimit when the
+	// children do not all finish within it.
+	MaxPasses int
+	// ChunkSize is the number of items buffered per broadcast chunk
+	// (0 means DefaultChunkSize). Larger chunks amortize channel traffic;
+	// smaller chunks reduce producer/worker skew.
+	ChunkSize int
+}
+
+// DefaultChunkSize is the item fan-out granularity used when
+// Config.ChunkSize is zero.
+const DefaultChunkSize = 64
+
+// Workers resolves a requested parallelism level: p if positive, else
+// runtime.GOMAXPROCS(0).
+func Workers(p int) int {
+	if p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stable is implemented by streams whose returned Item.Elems remain valid
+// (and immutable) until the next Reset. Run broadcasts such items without
+// copying; items from other streams are copied into chunk-owned storage
+// before they cross goroutines.
+type Stable interface {
+	StableItems() bool
+}
+
+func stableItems(s stream.Stream) bool {
+	st, ok := s.(Stable)
+	return ok && st.StableItems()
+}
+
+// Run drives the children over s concurrently until every child reports
+// done, mirroring stream.Run(s, stream.NewParallel(children...), maxPasses)
+// in results and accounting (see the package comment for the exact parity
+// statement).
+func Run(s stream.Stream, children []stream.PassAlgorithm, cfg Config) (stream.Accounting, error) {
+	if len(children) == 0 {
+		// Preserve the sequential driver's convention: an empty composition
+		// is done after one (counted) pass.
+		return stream.Run(s, stream.NewParallel(), cfg.MaxPasses)
+	}
+	nc := len(children)
+	var (
+		acc      stream.Accounting
+		done     = make([]bool, nc)
+		retained = make([]int, nc) // final footprint of finished children
+		sBegin   = make([]int, nc) // footprint after BeginPass
+		sLast    = make([]int, nc) // footprint after the last observed item
+		sEnd     = make([]int, nc) // footprint after EndPass
+		passDone = make([]bool, nc)
+		active   = make([]int, 0, nc)
+	)
+	chunkSize := cfg.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	stable := stableItems(s)
+	for pass := 0; pass < cfg.MaxPasses; pass++ {
+		active = active[:0]
+		base := 0 // finished children keep paying for retained state
+		for i := range children {
+			if done[i] {
+				base += retained[i]
+			} else {
+				active = append(active, i)
+			}
+		}
+		s.Reset()
+		items := runPass(s, children, active, pass, Workers(cfg.Workers), chunkSize, stable,
+			sBegin, sLast, sEnd, passDone)
+		sumBegin, sumLast, sumEnd := base, base, base
+		for _, ci := range active {
+			sumBegin += sBegin[ci]
+			sumLast += sLast[ci]
+			sumEnd += sEnd[ci]
+		}
+		acc.PeakSpace = max(acc.PeakSpace, sumBegin, sumLast, sumEnd)
+		acc.Items += items
+		acc.Passes = pass + 1
+		allDone := true
+		for _, ci := range active {
+			if passDone[ci] {
+				done[ci] = true
+				retained[ci] = sEnd[ci]
+			} else {
+				allDone = false
+			}
+		}
+		if allDone {
+			return acc, nil
+		}
+	}
+	return acc, stream.ErrPassLimit{Limit: cfg.MaxPasses}
+}
+
+// runPass fans one pass of s out to the active children: a worker pool owns
+// a strided partition of the children while the calling goroutine reads the
+// stream once and broadcasts read-only item chunks. Returns the number of
+// items read.
+func runPass(s stream.Stream, children []stream.PassAlgorithm, active []int,
+	pass, workers, chunkSize int, stable bool,
+	sBegin, sLast, sEnd []int, passDone []bool) int {
+	w := min(workers, len(active))
+	if w < 1 {
+		w = 1
+	}
+	chans := make([]chan []stream.Item, w)
+	for i := range chans {
+		chans[i] = make(chan []stream.Item, 4)
+	}
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for j := wi; j < len(active); j += w {
+				ci := active[j]
+				children[ci].BeginPass(pass)
+				sBegin[ci] = children[ci].Space()
+				sLast[ci] = sBegin[ci]
+			}
+			for batch := range chans[wi] {
+				for j := wi; j < len(active); j += w {
+					ci := active[j]
+					c := children[ci]
+					for _, item := range batch {
+						c.Observe(item)
+					}
+					sLast[ci] = c.Space()
+				}
+			}
+			for j := wi; j < len(active); j += w {
+				ci := active[j]
+				passDone[ci] = children[ci].EndPass()
+				sEnd[ci] = children[ci].Space()
+			}
+		}(wi)
+	}
+	items := 0
+	batch := make([]stream.Item, 0, chunkSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		for _, ch := range chans {
+			ch <- batch
+		}
+		batch = make([]stream.Item, 0, chunkSize)
+	}
+	for {
+		item, ok := s.Next()
+		if !ok {
+			break
+		}
+		if !stable {
+			item.Elems = append([]int(nil), item.Elems...)
+		}
+		items++
+		batch = append(batch, item)
+		if len(batch) == chunkSize {
+			flush()
+		}
+	}
+	flush()
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	return items
+}
+
+// minInline is the candidate count below which ArgMax runs inline
+// regardless of the worker count: goroutine startup dwarfs the work.
+const minInline = 32
+
+// ArgMax returns the index in [0, n) maximizing score, and the maximum
+// itself, evaluating candidates across w workers (w <= 1 runs inline). Ties
+// break toward the lowest index — exactly the outcome of a sequential
+// first-strictly-greater scan — so the result is independent of w. score
+// must be safe to call concurrently for distinct i. Returns (-1, 0) when
+// n <= 0.
+func ArgMax(w, n int, score func(i int) int) (best, bestScore int) {
+	if n <= 0 {
+		return -1, 0
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < minInline {
+		return argMaxRange(0, n, score)
+	}
+	idxs := make([]int, w)
+	scores := make([]int, w)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		lo, hi := wi*n/w, (wi+1)*n/w
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			idxs[wi], scores[wi] = argMaxRange(lo, hi, score)
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	// Workers own ascending contiguous ranges, so combining in worker order
+	// with a strict > keeps the lowest index among maximal scores.
+	best, bestScore = idxs[0], scores[0]
+	for wi := 1; wi < w; wi++ {
+		if scores[wi] > bestScore {
+			best, bestScore = idxs[wi], scores[wi]
+		}
+	}
+	return best, bestScore
+}
+
+func argMaxRange(lo, hi int, score func(i int) int) (best, bestScore int) {
+	best, bestScore = lo, score(lo)
+	for i := lo + 1; i < hi; i++ {
+		if s := score(i); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best, bestScore
+}

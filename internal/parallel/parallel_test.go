@@ -1,0 +1,194 @@
+package parallel
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"streamcover/internal/stream"
+)
+
+// sliceStream streams a fixed item slice; Elems are reused across passes but
+// not across items, and it does not declare StableItems, so Run must copy.
+type sliceStream struct {
+	items []stream.Item
+	pos   int
+}
+
+func newSliceStream(n, m int) *sliceStream {
+	s := &sliceStream{pos: m}
+	for id := 0; id < m; id++ {
+		elems := []int{id % n, (id * 7) % n, (id*13 + 5) % n}
+		s.items = append(s.items, stream.Item{ID: id, Elems: elems})
+	}
+	return s
+}
+
+func (s *sliceStream) Universe() int { return 64 }
+func (s *sliceStream) Len() int      { return len(s.items) }
+func (s *sliceStream) Reset()        { s.pos = 0 }
+func (s *sliceStream) Next() (stream.Item, bool) {
+	if s.pos >= len(s.items) {
+		return stream.Item{}, false
+	}
+	it := s.items[s.pos]
+	s.pos++
+	return it, true
+}
+
+// stableSliceStream additionally promises item stability (the no-copy path).
+type stableSliceStream struct{ sliceStream }
+
+func (s *stableSliceStream) StableItems() bool { return true }
+
+// recorder is a PassAlgorithm that records every observation in order, has
+// monotone non-decreasing space within a pass, and finishes after `need`
+// passes — the shape for which Run promises exact parity with stream.Run.
+type recorder struct {
+	need int
+	pass int
+	seen []int // item IDs in observation order, tagged by pass
+}
+
+func (r *recorder) BeginPass(pass int) { r.pass = pass }
+func (r *recorder) Observe(it stream.Item) {
+	r.seen = append(r.seen, r.pass*1_000_000+it.ID*10+len(it.Elems)%10)
+}
+func (r *recorder) EndPass() bool { return r.pass+1 >= r.need }
+func (r *recorder) Space() int    { return len(r.seen) + r.need }
+
+func makeRecorders(needs []int) ([]*recorder, []stream.PassAlgorithm) {
+	recs := make([]*recorder, len(needs))
+	algs := make([]stream.PassAlgorithm, len(needs))
+	for i, n := range needs {
+		recs[i] = &recorder{need: n}
+		algs[i] = recs[i]
+	}
+	return recs, algs
+}
+
+// TestRunMatchesSequentialDriver checks the parity contract: for children
+// with monotone per-pass space, Run reproduces stream.Run's accounting and
+// every child observes the identical item sequence, at every worker count
+// and chunk size, on both the copying and the stable-stream paths.
+func TestRunMatchesSequentialDriver(t *testing.T) {
+	needs := []int{1, 3, 2, 5, 4, 2, 1, 3, 3, 5} // staggered finishes
+	const maxPasses = 6
+
+	seqRecs, seqAlgs := makeRecorders(needs)
+	wantAcc, err := stream.Run(newSliceStream(64, 40), stream.NewParallel(seqAlgs...), maxPasses)
+	if err != nil {
+		t.Fatalf("sequential driver: %v", err)
+	}
+
+	for _, workers := range []int{1, 2, 3, 8, 32} {
+		for _, chunk := range []int{1, 3, DefaultChunkSize} {
+			for _, stable := range []bool{false, true} {
+				recs, algs := makeRecorders(needs)
+				var s stream.Stream = newSliceStream(64, 40)
+				if stable {
+					s = &stableSliceStream{*newSliceStream(64, 40)}
+				}
+				acc, err := Run(s, algs, Config{Workers: workers, MaxPasses: maxPasses, ChunkSize: chunk})
+				if err != nil {
+					t.Fatalf("workers=%d chunk=%d stable=%v: %v", workers, chunk, stable, err)
+				}
+				if acc != wantAcc {
+					t.Errorf("workers=%d chunk=%d stable=%v: accounting %+v, sequential %+v",
+						workers, chunk, stable, acc, wantAcc)
+				}
+				for i := range recs {
+					if !reflect.DeepEqual(recs[i].seen, seqRecs[i].seen) {
+						t.Errorf("workers=%d chunk=%d stable=%v: child %d observation order diverged",
+							workers, chunk, stable, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunPassLimit checks that an unfinished run reports stream.ErrPassLimit
+// with the sequential driver's accounting.
+func TestRunPassLimit(t *testing.T) {
+	const maxPasses = 3
+	seqRecs, seqAlgs := makeRecorders([]int{10, 1})
+	wantAcc, wantErr := stream.Run(newSliceStream(16, 8), stream.NewParallel(seqAlgs...), maxPasses)
+	if wantErr == nil {
+		t.Fatal("sequential driver unexpectedly finished")
+	}
+	_ = seqRecs
+
+	recs, algs := makeRecorders([]int{10, 1})
+	acc, err := Run(newSliceStream(16, 8), algs, Config{Workers: 4, MaxPasses: maxPasses})
+	var pl stream.ErrPassLimit
+	if !errors.As(err, &pl) || pl.Limit != maxPasses {
+		t.Fatalf("err = %v, want ErrPassLimit{%d}", err, maxPasses)
+	}
+	if acc != wantAcc {
+		t.Errorf("accounting %+v, sequential %+v", acc, wantAcc)
+	}
+	if len(recs[1].seen) >= len(recs[0].seen) {
+		t.Errorf("finished child kept observing: %d vs %d items", len(recs[1].seen), len(recs[0].seen))
+	}
+}
+
+// TestRunEmptyChildren mirrors the sequential convention: an empty
+// composition completes after one counted pass.
+func TestRunEmptyChildren(t *testing.T) {
+	acc, err := Run(newSliceStream(16, 8), nil, Config{Workers: 4, MaxPasses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := stream.Run(newSliceStream(16, 8), stream.NewParallel(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != want {
+		t.Errorf("accounting %+v, sequential %+v", acc, want)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Errorf("Workers(3) = %d", Workers(3))
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Errorf("Workers(<=0) = %d, %d; want >= 1", Workers(0), Workers(-1))
+	}
+}
+
+// TestArgMaxDeterministic checks that ArgMax equals the sequential
+// first-strictly-greater scan — including lowest-index tie-breaks — at every
+// worker count, above and below the inline threshold.
+func TestArgMaxDeterministic(t *testing.T) {
+	cases := [][]int{
+		{},
+		{5},
+		{0, 0, 0, 0},
+		{1, 3, 3, 2, 3},
+		make([]int, 100),
+		nil,
+	}
+	// A large case with many ties: score collisions every 17 indices.
+	big := make([]int, 257)
+	for i := range big {
+		big[i] = (i * 31 % 17) * 2
+	}
+	cases = append(cases, big)
+	for ci, scores := range cases {
+		wantIdx, wantScore := -1, 0
+		for i, s := range scores {
+			if wantIdx < 0 || s > wantScore {
+				wantIdx, wantScore = i, s
+			}
+		}
+		for _, w := range []int{1, 2, 3, 7, 16} {
+			idx, score := ArgMax(w, len(scores), func(i int) int { return scores[i] })
+			if idx != wantIdx || (wantIdx >= 0 && score != wantScore) {
+				t.Errorf("case %d workers %d: ArgMax = (%d, %d), want (%d, %d)",
+					ci, w, idx, score, wantIdx, wantScore)
+			}
+		}
+	}
+}

@@ -140,6 +140,10 @@ func (fs *FileStream) Next() (Item, bool) {
 // false may mean end-of-pass or error; check Err after the run).
 func (fs *FileStream) Err() error { return fs.err }
 
+// StableItems reports that every Item.Elems is freshly allocated per line and
+// never reused: concurrent drivers may broadcast items without copying.
+func (fs *FileStream) StableItems() bool { return true }
+
 // Close releases the underlying file.
 func (fs *FileStream) Close() error {
 	if fs.f != nil {

@@ -127,6 +127,11 @@ func (s *InstanceStream) Next() (Item, bool) {
 	return Item{ID: id, Elems: s.inst.Sets[id]}, true
 }
 
+// StableItems reports that returned Item.Elems alias the instance's set
+// storage, which is never mutated: items stay valid across the whole run, so
+// concurrent drivers may broadcast them without copying.
+func (s *InstanceStream) StableItems() bool { return true }
+
 // PassAlgorithm is the state-machine shape of a multi-pass streaming
 // algorithm. The Driver calls BeginPass, then Observe for every item of the
 // pass, then EndPass; it stops when EndPass reports done (or the pass limit

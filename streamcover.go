@@ -17,6 +17,23 @@
 //	if err != nil { ... }
 //	fmt.Println(res.Cover, res.Passes, res.SpaceWords)
 //
+// # Parallelism and determinism
+//
+// The õpt-guessing wrapper runs a (1+ε)-geometric grid of Algorithm 1
+// instances over the same stream passes; the guesses are logically
+// independent, so the solver fans them out to a worker pool (one stream
+// read per pass, items broadcast read-only to the per-guess runs, offline
+// sub-solves concurrent across guesses). WithParallelism(p) selects the
+// worker count — the default is GOMAXPROCS, and p = 1 forces the sequential
+// reference driver.
+//
+// Determinism contract: for a fixed seed, results are bit-identical at
+// every parallelism level — the same cover, winning guess, pass count and
+// space accounting. Every per-guess run owns an RNG split deterministically
+// from the root seed, observes the full stream in arrival order, and shares
+// no mutable state with its siblings, so the worker count changes wall-clock
+// time and nothing else.
+//
 // The package also exposes streaming maximum k-coverage (SolveMaxCoverage),
 // offline reference solvers (GreedySetCover, ExactSetCover), workload
 // generators, instance (de)serialization, and generators for the paper's
@@ -68,6 +85,7 @@ type options struct {
 	greedySub bool
 	sampleC   float64
 	optHint   int
+	workers   int
 }
 
 func defaultOptions() options {
@@ -108,6 +126,15 @@ func WithSampleConstant(c float64) Option { return func(o *options) { o.sampleC 
 // ErrInfeasible — retry with a larger hint (or without one).
 func WithOptimumHint(k int) Option { return func(o *options) { o.optHint = k } }
 
+// WithParallelism sets the worker-pool size used to fan the per-guess runs
+// out across cores (and, in SolveMaxCoverage's greedy sub-solve, the
+// per-round candidate gain scan): p <= 0 selects GOMAXPROCS (the default),
+// p == 1 forces the sequential reference driver.
+// For a fixed seed the result — cover, guess, passes, space accounting — is
+// bit-identical at every p; parallelism changes only wall-clock time. See
+// the package documentation for the determinism contract.
+func WithParallelism(p int) Option { return func(o *options) { o.workers = p } }
+
 // SetCoverResult reports a streaming set cover run.
 type SetCoverResult struct {
 	// Cover is the chosen set indices, sorted, covering the universe.
@@ -129,7 +156,7 @@ func SolveSetCover(inst *Instance, opts ...Option) (SetCoverResult, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	cfg := core.Config{Alpha: o.alpha, Epsilon: o.eps, SampleC: o.sampleC}
+	cfg := core.Config{Alpha: o.alpha, Epsilon: o.eps, SampleC: o.sampleC, Workers: o.workers}
 	if o.greedySub {
 		cfg.Subsolver = core.SubsolverGreedy
 	}
@@ -172,7 +199,7 @@ func SolveMaxCoverage(inst *Instance, k int, opts ...Option) (MaxCoverageResult,
 	}
 	r := rng.New(o.seed)
 	alg := maxcover.NewSampledKCover(inst.N, inst.M(), maxcover.SampledConfig{
-		K: k, Eps: o.eps, Exact: !o.greedySub, SampleC: o.sampleC,
+		K: k, Eps: o.eps, Exact: !o.greedySub, SampleC: o.sampleC, Workers: o.workers,
 	}, r.Split("sample"))
 	var orderRNG *rng.RNG
 	if o.order != Adversarial {

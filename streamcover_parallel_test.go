@@ -1,0 +1,86 @@
+package streamcover
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// parallelismLevels are the worker counts the determinism tests compare:
+// the sequential reference driver, a fixed multi-worker pool, GOMAXPROCS,
+// and the GOMAXPROCS default (0).
+func parallelismLevels() []int {
+	return []int{1, 4, runtime.GOMAXPROCS(0), 0}
+}
+
+// TestSolveSetCoverParallelDeterminism checks the WithParallelism contract:
+// for a fixed seed the full SetCoverResult — cover, winning guess, passes,
+// space accounting — is bit-identical at parallelism 1, 4, GOMAXPROCS and
+// the default, across instance families and arrival orders. Run under
+// -race, this also exercises the fan-out driver for data races.
+func TestSolveSetCoverParallelDeterminism(t *testing.T) {
+	planted, _ := GeneratePlanted(11, 2048, 256, 4)
+	clustered := GenerateClustered(12, 1024, 128, 8, 200)
+	cases := []struct {
+		name string
+		inst *Instance
+		opts []Option
+	}{
+		{"planted/adversarial", planted, []Option{WithAlpha(2), WithSeed(7), WithSampleConstant(2)}},
+		{"planted/random-once", planted, []Option{WithAlpha(2), WithSeed(7), WithSampleConstant(2), WithOrder(RandomOnce)}},
+		{"planted/random-each-pass", planted, []Option{WithAlpha(3), WithSeed(9), WithSampleConstant(2), WithOrder(RandomEachPass)}},
+		{"clustered/greedy-subsolver", clustered, []Option{WithAlpha(2), WithSeed(5), WithSampleConstant(2), WithGreedySubsolver()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := SolveSetCover(tc.inst, append(tc.opts, WithParallelism(1))...)
+			if err != nil {
+				t.Fatalf("parallelism 1: %v", err)
+			}
+			if !tc.inst.IsCover(base.Cover) {
+				t.Fatalf("parallelism 1 returned a non-cover")
+			}
+			for _, p := range parallelismLevels()[1:] {
+				res, err := SolveSetCover(tc.inst, append(tc.opts, WithParallelism(p))...)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", p, err)
+				}
+				if !reflect.DeepEqual(res, base) {
+					t.Errorf("parallelism %d diverged:\n got %+v\nwant %+v", p, res, base)
+				}
+			}
+		})
+	}
+}
+
+// TestSolveMaxCoverageParallelDeterminism checks the same contract for the
+// streaming maximum coverage solver, whose greedy sub-solve evaluates
+// candidates in parallel.
+func TestSolveMaxCoverageParallelDeterminism(t *testing.T) {
+	inst := GenerateUniform(13, 2048, 256, 64, 512)
+	cases := []struct {
+		name string
+		k    int
+		opts []Option
+	}{
+		{"greedy/k8", 8, []Option{WithSeed(3), WithGreedySubsolver()}},
+		{"exact/k2", 2, []Option{WithSeed(3)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := SolveMaxCoverage(inst, tc.k, append(tc.opts, WithParallelism(1))...)
+			if err != nil {
+				t.Fatalf("parallelism 1: %v", err)
+			}
+			for _, p := range parallelismLevels()[1:] {
+				res, err := SolveMaxCoverage(inst, tc.k, append(tc.opts, WithParallelism(p))...)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", p, err)
+				}
+				if !reflect.DeepEqual(res, base) {
+					t.Errorf("parallelism %d diverged:\n got %+v\nwant %+v", p, res, base)
+				}
+			}
+		})
+	}
+}
