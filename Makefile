@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test bench ci
+# Benchmarks whose B/op and allocs/op we track across PRs: the end-to-end
+# solvers plus the codec/stream data plane.
+BENCH_PATTERN ?= BenchmarkSolve|BenchmarkGreedySetCover|BenchmarkCodec|BenchmarkStream
+BENCH_JSON ?= BENCH_csr.json
+
+.PHONY: all fmt fmt-check vet build test bench bench-json ci
 
 all: build
 
@@ -32,5 +37,11 @@ test:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
+## bench-json: solver + data-plane benchmarks with allocation stats,
+## recorded as a go-test JSON event stream for cross-PR tracking
+bench-json:
+	$(GO) test -json -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . > $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
+
 ## ci: the full CI sequence, locally
-ci: fmt-check vet build test bench
+ci: fmt-check vet build test bench bench-json

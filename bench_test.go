@@ -1,11 +1,15 @@
 package streamcover
 
 import (
+	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"streamcover/internal/experiments"
+	"streamcover/internal/stream"
 )
 
 // One benchmark per reproduced experiment (DESIGN.md §4): each regenerates
@@ -120,6 +124,144 @@ func BenchmarkGreedySetCover(b *testing.B) {
 func BenchmarkGenerateHardSetCover(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		GenerateHardSetCover(uint64(i), 4096, 32, 2, i%2)
+	}
+}
+
+// --- Data-plane benchmarks ---------------------------------------------------
+//
+// The CSR/binary data plane exists to starve the solvers less: these
+// benchmarks track the codec and per-pass stream costs (run with -benchmem;
+// make bench-json records them in BENCH_csr.json).
+
+func benchCodecInstance() *Instance {
+	return GenerateZipf(9, 1<<14, 2048, 1.3, 1<<11)
+}
+
+// BenchmarkCodecWriteText measures text encoding throughput.
+func BenchmarkCodecWriteText(b *testing.B) {
+	inst := benchCodecInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, inst); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+// BenchmarkCodecWriteBinary measures binary encoding throughput.
+func BenchmarkCodecWriteBinary(b *testing.B) {
+	inst := benchCodecInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteInstanceBinary(&buf, inst); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+// BenchmarkCodecReadText measures text decoding (the old FileStream parse
+// path: strconv on every element).
+func BenchmarkCodecReadText(b *testing.B) {
+	inst := benchCodecInstance()
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, inst); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadInstance(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecReadBinary measures binary decoding (varint deltas straight
+// into the arena).
+func BenchmarkCodecReadBinary(b *testing.B) {
+	inst := benchCodecInstance()
+	var buf bytes.Buffer
+	if err := WriteInstanceBinary(&buf, inst); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadInstance(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchStreamPass drives full passes over a file-backed stream, measuring
+// the per-pass re-read cost the multi-pass solvers pay.
+func benchStreamPass(b *testing.B, path string) {
+	s, err := stream.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		items := 0
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			items++
+		}
+		if err := s.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if items != s.Len() {
+			b.Fatalf("pass read %d of %d sets", items, s.Len())
+		}
+	}
+}
+
+// BenchmarkStreamTextFilePass measures one full pass of the text stream.
+func BenchmarkStreamTextFilePass(b *testing.B) {
+	inst := benchCodecInstance()
+	path := filepath.Join(b.TempDir(), "inst.sc")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteInstance(f, inst); err != nil {
+		b.Fatal(err)
+	}
+	f.Close()
+	benchStreamPass(b, path)
+}
+
+// BenchmarkStreamBinaryFilePass measures one full pass of the binary
+// stream (reusable buffer, no strconv — the allocation-free path).
+func BenchmarkStreamBinaryFilePass(b *testing.B) {
+	inst := benchCodecInstance()
+	path := filepath.Join(b.TempDir(), "inst.scb")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteInstanceBinary(f, inst); err != nil {
+		b.Fatal(err)
+	}
+	f.Close()
+	benchStreamPass(b, path)
+}
+
+// BenchmarkGenerateZipf tracks the generator that used to allocate one
+// map per set (now a shared stamp-array scratch).
+func BenchmarkGenerateZipf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GenerateZipf(uint64(i)+1, 1<<13, 1024, 1.4, 1<<10)
 	}
 }
 

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		in      = flag.String("in", "", "instance file (text format); empty means -gen")
+		in      = flag.String("in", "", "instance file (text or binary, auto-detected); empty means -gen")
 		gen     = flag.String("gen", "planted", "generator: planted, uniform, zipf, clustered")
 		n       = flag.Int("n", 4096, "universe size (generators)")
 		m       = flag.Int("m", 512, "number of sets (generators)")
@@ -108,9 +108,12 @@ func main() {
 
 // runFileStreaming drives Algorithm 1 directly over a file-backed stream:
 // each pass re-reads the file, so instances larger than memory work as
-// long as the algorithm's own footprint fits.
+// long as the algorithm's own footprint fits. The codec is auto-detected
+// (binary files stream with a reusable buffer and no re-parsing; text files
+// fall back to line scanning), and a mid-pass file error aborts the solve
+// through the driver rather than truncating a pass.
 func runFileStreaming(path string, alpha int, eps float64, seed uint64, workers int) {
-	fs, err := stream.OpenFile(path)
+	fs, err := stream.Open(path)
 	if err != nil {
 		fatal(err)
 	}
@@ -121,9 +124,6 @@ func runFileStreaming(path string, alpha int, eps float64, seed uint64, workers 
 	acc, err := solver.Run(fs, cfg.MaxPasses()+1)
 	if err != nil {
 		fatal(err)
-	}
-	if serr := fs.Err(); serr != nil {
-		fatal(serr)
 	}
 	best, ok := solver.Best()
 	if !ok {

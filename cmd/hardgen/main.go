@@ -1,19 +1,22 @@
 // Command hardgen emits instances of the paper's hard distributions D_SC
-// (set cover, §3.1) and D_MC (maximum coverage, §4.2) in the text format,
-// with the ground truth recorded as header comments. Use these to stress
-// any streaming set cover implementation: deciding the planted bit θ
-// requires Ω̃(m·n^{1/α}) (resp. Ω̃(m/ε²)) words of memory.
+// (set cover, §3.1) and D_MC (maximum coverage, §4.2) in the text or
+// binary instance format, with the ground truth recorded as header comments
+// (text) or printed to stderr (binary, which has no comment channel). Use
+// these to stress any streaming set cover implementation: deciding the
+// planted bit θ requires Ω̃(m·n^{1/α}) (resp. Ω̃(m/ε²)) words of memory.
 //
 // Usage:
 //
 //	hardgen -kind sc -n 4096 -m 32 -alpha 2 -theta 1 -seed 7 > hard.sc
 //	hardgen -kind mc -m 32 -eps 0.125 -theta 0 > hard.mc
+//	hardgen -kind sc -n 65536 -m 256 -format binary > hard.scb
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"streamcover"
@@ -21,47 +24,66 @@ import (
 
 func main() {
 	var (
-		kind  = flag.String("kind", "sc", "distribution: sc (set cover) or mc (max coverage)")
-		n     = flag.Int("n", 4096, "universe size (sc only; mc derives n from eps)")
-		m     = flag.Int("m", 32, "number of pairs (the instance has 2m sets)")
-		alpha = flag.Int("alpha", 2, "hardness parameter α (sc only)")
-		eps   = flag.Float64("eps", 0.125, "hardness parameter ε (mc only)")
-		theta = flag.Int("theta", 1, "planted bit θ ∈ {0,1}")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		kind   = flag.String("kind", "sc", "distribution: sc (set cover) or mc (max coverage)")
+		n      = flag.Int("n", 4096, "universe size (sc only; mc derives n from eps)")
+		m      = flag.Int("m", 32, "number of pairs (the instance has 2m sets)")
+		alpha  = flag.Int("alpha", 2, "hardness parameter α (sc only)")
+		eps    = flag.Float64("eps", 0.125, "hardness parameter ε (mc only)")
+		theta  = flag.Int("theta", 1, "planted bit θ ∈ {0,1}")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		format = flag.String("format", "text", "output format: text or binary")
 	)
 	flag.Parse()
 	if *theta != 0 && *theta != 1 {
 		fmt.Fprintln(os.Stderr, "hardgen: -theta must be 0 or 1")
 		os.Exit(2)
 	}
+	if *format != "text" && *format != "binary" {
+		fmt.Fprintf(os.Stderr, "hardgen: unknown -format %q (want text or binary)\n", *format)
+		os.Exit(2)
+	}
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 
+	// Ground-truth annotations ride in the text stream as comments; the
+	// binary format has no comment channel, so they go to stderr instead.
+	emit := func(inst *streamcover.Instance, header func(io.Writer)) {
+		if *format == "binary" {
+			header(os.Stderr)
+			if err := streamcover.WriteInstanceBinary(w, inst); err != nil {
+				fmt.Fprintf(os.Stderr, "hardgen: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		header(w)
+		if err := streamcover.WriteInstance(w, inst); err != nil {
+			fmt.Fprintf(os.Stderr, "hardgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	switch *kind {
 	case "sc":
 		inst, info := streamcover.GenerateHardSetCover(*seed, *n, *m, *alpha, *theta)
-		fmt.Fprintf(w, "# D_SC hard set cover instance (Assadi PODS 2017, §3.1)\n")
-		fmt.Fprintf(w, "# theta=%d istar=%d pairs=%d t=%d alpha=%d seed=%d\n",
-			info.Theta, info.IStar, info.M, info.T, info.Alpha, *seed)
-		fmt.Fprintf(w, "# sets [0,%d) are S_i, [%d,%d) are T_i; pair i covers [n] iff i=istar\n",
-			info.M, info.M, 2*info.M)
-		fmt.Fprintf(w, "# lower bound: any %d-approximation needs Ω̃(m·t) = Ω̃(%d) words\n",
-			info.Alpha, info.M*info.T)
-		if err := streamcover.WriteInstance(w, inst); err != nil {
-			fmt.Fprintf(os.Stderr, "hardgen: %v\n", err)
-			os.Exit(1)
-		}
+		emit(inst, func(out io.Writer) {
+			fmt.Fprintf(out, "# D_SC hard set cover instance (Assadi PODS 2017, §3.1)\n")
+			fmt.Fprintf(out, "# theta=%d istar=%d pairs=%d t=%d alpha=%d seed=%d\n",
+				info.Theta, info.IStar, info.M, info.T, info.Alpha, *seed)
+			fmt.Fprintf(out, "# sets [0,%d) are S_i, [%d,%d) are T_i; pair i covers [n] iff i=istar\n",
+				info.M, info.M, 2*info.M)
+			fmt.Fprintf(out, "# lower bound: any %d-approximation needs Ω̃(m·t) = Ω̃(%d) words\n",
+				info.Alpha, info.M*info.T)
+		})
 	case "mc":
 		inst, info := streamcover.GenerateHardMaxCoverage(*seed, *m, *eps, *theta)
-		fmt.Fprintf(w, "# D_MC hard maximum coverage instance (Assadi PODS 2017, §4.2), k=2\n")
-		fmt.Fprintf(w, "# theta=%d istar=%d pairs=%d tau=%.2f eps=%v seed=%d\n",
-			info.Theta, info.IStar, info.M, info.Tau, info.Eps, *seed)
-		fmt.Fprintf(w, "# lower bound: any (1-ε)-approximation needs Ω̃(m/ε²) words\n")
-		if err := streamcover.WriteInstance(w, inst); err != nil {
-			fmt.Fprintf(os.Stderr, "hardgen: %v\n", err)
-			os.Exit(1)
-		}
+		emit(inst, func(out io.Writer) {
+			fmt.Fprintf(out, "# D_MC hard maximum coverage instance (Assadi PODS 2017, §4.2), k=2\n")
+			fmt.Fprintf(out, "# theta=%d istar=%d pairs=%d tau=%.2f eps=%v seed=%d\n",
+				info.Theta, info.IStar, info.M, info.Tau, info.Eps, *seed)
+			fmt.Fprintf(out, "# lower bound: any (1-ε)-approximation needs Ω̃(m/ε²) words\n")
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "hardgen: unknown -kind %q (want sc or mc)\n", *kind)
 		os.Exit(2)

@@ -1,0 +1,142 @@
+package streamcover
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"streamcover/internal/core"
+	"streamcover/internal/rng"
+	"streamcover/internal/stream"
+)
+
+// TestSolveParityAcrossStreamBackends is the acceptance check of the CSR
+// data plane: for a fixed seed, Algorithm 1 run over an in-memory
+// InstanceStream, a text FileStream, and a binary BinaryFileStream produces
+// the bit-identical outcome — cover, winning guess, feasibility, passes,
+// items and peak space — at parallelism 1, 4 and GOMAXPROCS. The stream
+// backend and the worker count change wall-clock time and nothing else.
+func TestSolveParityAcrossStreamBackends(t *testing.T) {
+	inst, _ := GeneratePlanted(21, 1024, 128, 4)
+	dir := t.TempDir()
+
+	tpath := filepath.Join(dir, "inst.sc")
+	tf, err := os.Create(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteInstance(tf, inst); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+
+	bpath := filepath.Join(dir, "inst.scb")
+	bf, err := os.Create(bpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteInstanceBinary(bf, inst); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+
+	type outcome struct {
+		res core.Result
+		acc stream.Accounting
+	}
+	const seed = 77
+	cfg := core.Config{Alpha: 2, Epsilon: 0.5, SampleC: 2}
+
+	solve := func(t *testing.T, open func() (stream.Stream, func()), workers int) outcome {
+		t.Helper()
+		s, done := open()
+		defer done()
+		c := cfg
+		c.Workers = workers
+		solver := core.NewSolver(s.Universe(), s.Len(), c, rng.New(seed))
+		acc, err := solver.Run(s, c.MaxPasses()+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, ok := solver.Best()
+		if !ok {
+			t.Fatal("no feasible cover")
+		}
+		return outcome{res: best, acc: acc}
+	}
+
+	backends := []struct {
+		name string
+		open func() (stream.Stream, func())
+	}{
+		{"instance", func() (stream.Stream, func()) {
+			return stream.FromInstance(inst, stream.Adversarial, nil), func() {}
+		}},
+		{"text-file", func() (stream.Stream, func()) {
+			fs, err := stream.OpenFile(tpath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fs, func() { fs.Close() }
+		}},
+		{"binary-file", func() (stream.Stream, func()) {
+			fs, err := stream.OpenBinaryFile(bpath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fs, func() { fs.Close() }
+		}},
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	base := solve(t, backends[0].open, 1)
+	if !inst.IsCover(base.res.Cover) {
+		t.Fatal("baseline result is not a cover")
+	}
+	for _, b := range backends {
+		for _, w := range workerCounts {
+			got := solve(t, b.open, w)
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("%s workers=%d diverged:\n got %+v\nwant %+v", b.name, w, got, base)
+			}
+		}
+	}
+}
+
+// TestReadInstanceAutoBinary checks the public decode path sniffs the
+// binary magic (covercli's -in handling rides on this).
+func TestReadInstanceAutoBinary(t *testing.T) {
+	inst := GenerateUniform(5, 128, 30, 4, 40)
+	path := filepath.Join(t.TempDir(), "inst.scb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteInstanceBinary(f, inst); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	got, err := ReadInstance(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != inst.N || got.M() != inst.M() || got.TotalElems() != inst.TotalElems() {
+		t.Fatalf("auto-decoded instance differs: %d/%d/%d vs %d/%d/%d",
+			got.N, got.M(), got.TotalElems(), inst.N, inst.M(), inst.TotalElems())
+	}
+	for i := 0; i < inst.M(); i++ {
+		a, b := got.Set(i), inst.Set(i)
+		for j := range b {
+			if a[j] != b[j] {
+				t.Fatalf("set %d differs", i)
+			}
+		}
+	}
+}

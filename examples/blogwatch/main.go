@@ -26,14 +26,16 @@ func main() {
 	inst := streamcover.GenerateClustered(2024, topics, blogs, clusters, 200)
 
 	// A few aggregators guarantee coverability: one blog per cluster pair.
+	aggs := make([][]int, 0, clusters)
 	for c := 0; c < clusters; c++ {
 		lo, hi := c*topics/clusters, (c+1)*topics/clusters
 		agg := make([]int, 0, hi-lo)
 		for e := lo; e < hi; e++ {
 			agg = append(agg, e)
 		}
-		inst.Sets = append(inst.Sets, agg)
+		aggs = append(aggs, agg)
 	}
+	inst = streamcover.MergeInstances(topics, inst, streamcover.NewInstance(topics, aggs))
 	streamcover.Normalize(inst)
 
 	st := streamcover.ComputeStats(inst)

@@ -24,8 +24,8 @@ const (
 func main() {
 	n := side * side
 	r := rng.New(7)
-	inst := &streamcover.Instance{N: n, Sets: make([][]int, sensors)}
-	for i := range inst.Sets {
+	b := streamcover.NewInstanceBuilder(n)
+	for i := 0; i < sensors; i++ {
 		cx, cy := r.Intn(side), r.Intn(side)
 		var cells []int
 		for dx := -radius; dx <= radius; dx++ {
@@ -38,8 +38,9 @@ func main() {
 			}
 		}
 		sort.Ints(cells)
-		inst.Sets[i] = cells
+		b.AddSet(cells)
 	}
+	inst := b.Build()
 
 	fmt.Printf("sensors: %d candidates over a %d×%d field, budget k=%d\n",
 		sensors, side, side, k)
@@ -60,10 +61,6 @@ func main() {
 	fmt.Printf("offline greedy: %d sensors cover %d cells (%.1f%%)\n",
 		len(chosen), covered, 100*float64(covered)/float64(n))
 
-	total := 0
-	for _, s := range inst.Sets {
-		total += len(s)
-	}
 	fmt.Printf("memory: streaming retained %d words vs %d to buffer all placements\n",
-		res.SpaceWords, total+sensors)
+		res.SpaceWords, inst.TotalElems()+sensors)
 }

@@ -81,15 +81,15 @@ func (g *ProgressiveGreedy) Observe(item stream.Item) {
 	}
 	cnt := 0
 	for _, e := range item.Elems {
-		if g.u.Has(e) {
+		if g.u.Has(int(e)) {
 			cnt++
 		}
 	}
 	if cnt > 0 && float64(cnt) >= g.threshold {
 		g.sol = append(g.sol, item.ID)
 		for _, e := range item.Elems {
-			if g.u.Has(e) {
-				g.u.Clear(e)
+			if g.u.Has(int(e)) {
+				g.u.Clear(int(e))
 				g.uCount--
 			}
 		}
@@ -127,11 +127,12 @@ func (g *ProgressiveGreedy) Result() (cover []int, feasible bool) {
 	return out, g.uCount == 0
 }
 
-// StoreAllGreedy buffers the whole stream and solves offline.
+// StoreAllGreedy buffers the whole stream (into a CSR arena, one flat copy)
+// and solves offline.
 type StoreAllGreedy struct {
 	n     int
 	ids   []int
-	sets  [][]int
+	buf   *setsystem.Builder
 	words int
 	sol   []int
 	ok    bool
@@ -140,7 +141,7 @@ type StoreAllGreedy struct {
 
 // NewStoreAllGreedy returns the store-everything baseline for universe n.
 func NewStoreAllGreedy(n int) *StoreAllGreedy {
-	return &StoreAllGreedy{n: n}
+	return &StoreAllGreedy{n: n, buf: setsystem.NewBuilder(n)}
 }
 
 // BeginPass implements stream.PassAlgorithm.
@@ -148,16 +149,14 @@ func (s *StoreAllGreedy) BeginPass(pass int) {}
 
 // Observe implements stream.PassAlgorithm.
 func (s *StoreAllGreedy) Observe(item stream.Item) {
-	elems := append([]int(nil), item.Elems...)
 	s.ids = append(s.ids, item.ID)
-	s.sets = append(s.sets, elems)
-	s.words += 1 + len(elems)
+	s.buf.AddSet32(item.Elems)
+	s.words += 1 + len(item.Elems)
 }
 
 // EndPass implements stream.PassAlgorithm: solves after the single pass.
 func (s *StoreAllGreedy) EndPass() bool {
-	inst := &setsystem.Instance{N: s.n, Sets: s.sets}
-	cover, err := offline.Greedy(inst)
+	cover, err := offline.Greedy(s.buf.Build())
 	if err == nil {
 		s.ok = true
 		for _, local := range cover {

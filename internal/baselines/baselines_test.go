@@ -38,7 +38,7 @@ func TestProgressiveGreedyCovers(t *testing.T) {
 }
 
 func TestProgressiveGreedyInfeasible(t *testing.T) {
-	inst := &setsystem.Instance{N: 8, Sets: [][]int{{0, 1, 2}, {3}}}
+	inst := setsystem.FromSets(8, [][]int{{0, 1, 2}, {3}})
 	g := NewProgressiveGreedy(inst.N, 2)
 	runAlg(t, inst, g, g.MaxPasses())
 	if _, ok := g.Result(); ok {
@@ -84,10 +84,7 @@ func TestStoreAllGreedy(t *testing.T) {
 		t.Fatalf("store-all used %d passes", acc.Passes)
 	}
 	// Space must be the full input size.
-	want := 0
-	for _, set := range inst.Sets {
-		want += 1 + len(set)
-	}
+	want := inst.TotalElems() + inst.M()
 	if acc.PeakSpace < want {
 		t.Fatalf("peak space %d below input size %d", acc.PeakSpace, want)
 	}
@@ -124,7 +121,7 @@ func TestStoreAllGreedyMatchesOffline(t *testing.T) {
 }
 
 func TestStoreAllInfeasible(t *testing.T) {
-	inst := &setsystem.Instance{N: 4, Sets: [][]int{{0}, {1}}}
+	inst := setsystem.FromSets(4, [][]int{{0}, {1}})
 	s := NewStoreAllGreedy(inst.N)
 	runAlg(t, inst, s, 2)
 	if _, ok := s.Result(); ok {

@@ -49,6 +49,19 @@ func (b *Bitset) Set(e int) {
 	b.words[e/wordBits] |= 1 << (uint(e) % wordBits)
 }
 
+// SetAll adds every element of the view (a CSR set view, as returned by
+// setsystem.Instance.Set) to the set. It is the bulk form of Set for the
+// arena-backed instance layout: one bounds check per element, no interface
+// or callback overhead.
+func (b *Bitset) SetAll(view []int32) {
+	for _, e := range view {
+		if e < 0 || int(e) >= b.n {
+			panic(fmt.Sprintf("bitset: element %d out of range [0,%d)", e, b.n))
+		}
+		b.words[e/wordBits] |= 1 << (uint32(e) % wordBits)
+	}
+}
+
 // Clear removes e from the set.
 func (b *Bitset) Clear(e int) {
 	if e < 0 || e >= b.n {

@@ -96,14 +96,14 @@ func SimulateStreaming(alg stream.PassAlgorithm, inst *setsystem.Instance, owner
 		// Alice's half of the stream.
 		for id, isAlice := range owner {
 			if isAlice {
-				alg.Observe(stream.Item{ID: id, Elems: inst.Sets[id]})
+				alg.Observe(stream.Item{ID: id, Elems: inst.Set(id)})
 			}
 		}
 		res.Bits += alg.Space() * wordBits // Alice → Bob
 		res.Handoffs++
 		for id, isAlice := range owner {
 			if !isAlice {
-				alg.Observe(stream.Item{ID: id, Elems: inst.Sets[id]})
+				alg.Observe(stream.Item{ID: id, Elems: inst.Set(id)})
 			}
 		}
 		done := alg.EndPass()
@@ -121,8 +121,8 @@ func SimulateStreaming(alg stream.PassAlgorithm, inst *setsystem.Instance, owner
 // (element-list encoding): the baseline every sublinear protocol must beat.
 func InstanceBits(inst *setsystem.Instance) int {
 	bits := 0
-	for _, s := range inst.Sets {
-		bits += SetBits(inst.N, len(s))
+	for i := 0; i < inst.M(); i++ {
+		bits += SetBits(inst.N, inst.SetLen(i))
 	}
 	return bits
 }
@@ -144,7 +144,7 @@ func SolveDisjViaSetCover(d hardinst.Disj, p hardinst.SCParams, oracle SetCoverO
 	}
 	n := p.EffectiveN()
 	iStar := r.Intn(p.M)
-	inst := &setsystem.Instance{N: n, Sets: make([][]int, 2*p.M)}
+	sets := make([][]int, 2*p.M)
 	for i := 0; i < p.M; i++ {
 		var di hardinst.Disj
 		if i == iStar {
@@ -153,10 +153,10 @@ func SolveDisjViaSetCover(d hardinst.Disj, p hardinst.SCParams, oracle SetCoverO
 			di = hardinst.SampleDisjNo(t, r)
 		}
 		f := hardinst.NewMapping(t, n, r)
-		inst.Sets[i] = f.Complement(di.A)
-		inst.Sets[p.M+i] = f.Complement(di.B)
+		sets[i] = f.Complement(di.A)
+		sets[p.M+i] = f.Complement(di.B)
 	}
-	ok, err := oracle(inst, 2*p.Alpha)
+	ok, err := oracle(setsystem.FromSets(n, sets), 2*p.Alpha)
 	if err != nil {
 		return false, err
 	}
@@ -179,7 +179,7 @@ func SolveGHDViaMaxCover(g hardinst.GHD, p hardinst.MCParams, oracle MaxCoverOra
 	a, b := hardinst.GHDSizes(t1)
 	tau := float64(t2) + float64(a+b)/2 + float64(t1)/4
 	iStar := r.Intn(p.M)
-	inst := &setsystem.Instance{N: t1 + t2, Sets: make([][]int, 2*p.M)}
+	sets := make([][]int, 2*p.M)
 	for i := 0; i < p.M; i++ {
 		var gi hardinst.GHD
 		if i == iStar {
@@ -195,10 +195,10 @@ func SolveGHDViaMaxCover(g hardinst.GHD, p hardinst.MCParams, oracle MaxCoverOra
 				di = append(di, e)
 			}
 		}
-		inst.Sets[i] = append(append([]int(nil), gi.A...), ci...)
-		inst.Sets[p.M+i] = append(append([]int(nil), gi.B...), di...)
+		sets[i] = append(append([]int(nil), gi.A...), ci...)
+		sets[p.M+i] = append(append([]int(nil), gi.B...), di...)
 	}
-	above, err := oracle(inst, tau)
+	above, err := oracle(setsystem.FromSets(t1+t2, sets), tau)
 	if err != nil {
 		return false, err
 	}

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"fmt"
+	"sort"
 
 	"streamcover/internal/hardinst"
 	"streamcover/internal/rng"
@@ -40,7 +41,7 @@ func (p SampledSetCover) Run(sc *hardinst.SetCoverInstance, part hardinst.Partit
 		if !part[a] {
 			aliceSet, bobSet = b, a
 		}
-		elemsA := sc.Inst.Sets[aliceSet]
+		elemsA := sc.Inst.Set(aliceSet)
 		want := p.PerPair
 		if comp := n - len(elemsA); want > comp {
 			want = comp
@@ -55,8 +56,9 @@ func (p SampledSetCover) Run(sc *hardinst.SetCoverInstance, part hardinst.Partit
 		tr.Append(fmt.Sprintf("p%d:%s", i, EncodeIntSet(sample)), SetBits(n, len(sample)))
 		// Bob: count samples missing from his set too (complement collisions).
 		hits := 0
+		bobElems := sc.Inst.Set(bobSet)
 		for _, e := range sample {
-			if !containsSorted(sc.Inst.Sets[bobSet], e) {
+			if !containsSortedView(bobElems, e) {
 				hits++
 			}
 		}
@@ -74,13 +76,14 @@ func (p SampledSetCover) Run(sc *hardinst.SetCoverInstance, part hardinst.Partit
 }
 
 // sampleComplementSorted returns `want` uniform distinct elements of
-// [0,n) \ elems (elems sorted), sorted, via complement-position sampling.
-func sampleComplementSorted(elems []int, n, want int, r *rng.RNG) []int {
+// [0,n) \ elems (a sorted arena view), sorted, via complement-position
+// sampling.
+func sampleComplementSorted(elems []int32, n, want int, r *rng.RNG) []int {
 	positions := r.KSubset(n-len(elems), want)
 	out := make([]int, 0, want)
 	pi, pos, ei := 0, 0, 0
 	for e := 0; e < n && pi < len(positions); e++ {
-		if ei < len(elems) && elems[ei] == e {
+		if ei < len(elems) && int(elems[ei]) == e {
 			ei++
 			continue
 		}
@@ -91,4 +94,10 @@ func sampleComplementSorted(elems []int, n, want int, r *rng.RNG) []int {
 		pos++
 	}
 	return out
+}
+
+// containsSortedView reports whether the sorted arena view s contains v.
+func containsSortedView(s []int32, v int) bool {
+	i := sort.Search(len(s), func(i int) bool { return int(s[i]) >= v })
+	return i < len(s) && int(s[i]) == v
 }

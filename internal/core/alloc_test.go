@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"streamcover/internal/bitset"
+	"streamcover/internal/rng"
+	"streamcover/internal/stream"
+)
+
+// Allocation-regression guards for the per-item Observe hot path: every
+// pass of Algorithm 1 calls Observe m times, so a single allocation per
+// item multiplies into millions on large streams. The prune and subtract
+// phases must be allocation-free outright; the store phase must be
+// allocation-free in steady state (its flat projection arena grows
+// amortized and keeps capacity across iterations).
+
+func TestObservePruneAllocFree(t *testing.T) {
+	const n = 1000
+	a := NewRun(n, 64, 1, Config{Alpha: 2, Epsilon: 0.5}, rng.New(1))
+	a.BeginPass(0) // prune phase
+	elems := []int32{1, 5, 9, 400, 999}
+	item := stream.Item{ID: 7, Elems: elems}
+	// Threshold n/(ε·õpt) = 2000 > |elems|: the set is counted, not taken,
+	// which is the overwhelmingly common prune-pass outcome.
+	allocs := testing.AllocsPerRun(500, func() { a.Observe(item) })
+	if allocs > 0 {
+		t.Fatalf("prune-phase Observe allocates %.2f objects/item", allocs)
+	}
+}
+
+func TestObserveSubtractAllocFree(t *testing.T) {
+	const n = 1000
+	a := NewRun(n, 64, 1, Config{Alpha: 2, Epsilon: 0.5}, rng.New(1))
+	a.BeginPass(0)
+	a.phase = phaseSubtract
+	a.chosen[7] = true
+	item := stream.Item{ID: 7, Elems: []int32{1, 5, 9, 400, 999}}
+	other := stream.Item{ID: 8, Elems: []int32{2, 6}}
+	allocs := testing.AllocsPerRun(500, func() {
+		a.Observe(item)  // chosen: clears uncovered bits
+		a.Observe(other) // not chosen: skipped
+	})
+	if allocs > 0 {
+		t.Fatalf("subtract-phase Observe allocates %.2f objects/item", allocs)
+	}
+}
+
+func TestObserveStoreSteadyStateAllocFree(t *testing.T) {
+	const n = 1000
+	a := NewRun(n, 64, 1, Config{Alpha: 2, Epsilon: 0.5}, rng.New(1))
+	a.phase = phaseStore
+	a.usmpl = bitset.New(n)
+	for _, e := range []int{1, 9, 400} {
+		a.usmpl.Set(e)
+		a.usmplCnt++
+	}
+	a.projOffs = append(a.projOffs, 0)
+	item := stream.Item{ID: 7, Elems: []int32{1, 5, 9, 400, 999}}
+	a.Observe(item) // warm-up grows the arena to one item's projection
+	allocs := testing.AllocsPerRun(500, func() {
+		// Rewind to the warmed pass start, as EndPass/beginStorePass do,
+		// then observe: appends land in existing capacity.
+		a.projIDs = a.projIDs[:0]
+		a.projOffs = a.projOffs[:1]
+		a.projElems = a.projElems[:0]
+		a.Observe(item)
+	})
+	if allocs > 0 {
+		t.Fatalf("store-phase Observe allocates %.2f objects/item in steady state", allocs)
+	}
+}

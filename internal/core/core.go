@@ -26,6 +26,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"streamcover/internal/bitset"
@@ -155,16 +156,20 @@ type Run struct {
 	uCount   int
 	usmpl    *bitset.Bitset // current sample (subset of u)
 	usmplCnt int
-	projIDs  []int   // set IDs with non-empty sampled projection
-	projs    [][]int // their projections (sampled-element IDs)
-	projWrds int     // Σ(1+|proj|): stored words for projections
-	chosen   map[int]bool
-	pending  []int // sub-cover awaiting subtraction
-	sol      []int
-	solSet   map[int]bool
-	failed   bool
-	err      error
-	done     bool
+	// Stored projections, in CSR form mirroring setsystem.Instance: one flat
+	// element arena plus offsets, so the store-pass Observe path appends to
+	// two flat slices (amortized allocation-free) instead of allocating one
+	// slice per projected set.
+	projIDs   []int   // set IDs with non-empty sampled projection
+	projOffs  []int   // offsets into projElems; len(projIDs)+1 when non-empty
+	projElems []int32 // sampled-element IDs, all projections concatenated
+	chosen    map[int]bool
+	pending   []int // sub-cover awaiting subtraction
+	sol       []int
+	solSet    map[int]bool
+	failed    bool
+	err       error
+	done      bool
 
 	// uncovHistory records |U| after the prune pass and after each
 	// subtraction pass — the Lemma 3.11 decay trace (each iteration should
@@ -243,7 +248,11 @@ func (a *Run) BeginPass(pass int) {
 // universe at the configured rate.
 func (a *Run) beginStorePass() {
 	a.phase = phaseStore
-	a.usmpl = bitset.New(a.n)
+	if a.usmpl == nil {
+		a.usmpl = bitset.New(a.n)
+	} else {
+		a.usmpl.Reset()
+	}
 	a.usmplCnt = 0
 	p := a.sampleRate()
 	a.u.Range(func(e int) bool {
@@ -254,17 +263,20 @@ func (a *Run) beginStorePass() {
 		return true
 	})
 	a.projIDs = a.projIDs[:0]
-	a.projs = a.projs[:0]
-	a.projWrds = 0
+	a.projOffs = append(a.projOffs[:0], 0)
+	a.projElems = a.projElems[:0]
 }
 
-// Observe implements stream.PassAlgorithm.
+// Observe implements stream.PassAlgorithm. This is the per-item hot path:
+// it iterates the item's arena view directly and allocates nothing in the
+// prune and subtract phases (the store phase appends to the flat projection
+// arena, amortized allocation-free once the arena has grown).
 func (a *Run) Observe(item stream.Item) {
 	switch a.phase {
 	case phasePrune:
 		cnt := 0
 		for _, e := range item.Elems {
-			if a.u.Has(e) {
+			if a.u.Has(int(e)) {
 				cnt++
 			}
 		}
@@ -272,29 +284,28 @@ func (a *Run) Observe(item stream.Item) {
 			a.takeSet(item.ID)
 			a.prunePicked++
 			for _, e := range item.Elems {
-				if a.u.Has(e) {
-					a.u.Clear(e)
+				if a.u.Has(int(e)) {
+					a.u.Clear(int(e))
 					a.uCount--
 				}
 			}
 		}
 	case phaseStore:
-		var proj []int
+		start := len(a.projElems)
 		for _, e := range item.Elems {
-			if a.usmpl.Has(e) {
-				proj = append(proj, e)
+			if a.usmpl.Has(int(e)) {
+				a.projElems = append(a.projElems, e)
 			}
 		}
-		if len(proj) > 0 {
+		if len(a.projElems) > start {
 			a.projIDs = append(a.projIDs, item.ID)
-			a.projs = append(a.projs, proj)
-			a.projWrds += 1 + len(proj)
+			a.projOffs = append(a.projOffs, len(a.projElems))
 		}
 	case phaseSubtract:
 		if a.chosen[item.ID] {
 			for _, e := range item.Elems {
-				if a.u.Has(e) {
-					a.u.Clear(e)
+				if a.u.Has(int(e)) {
+					a.u.Clear(int(e))
 					a.uCount--
 				}
 			}
@@ -346,20 +357,21 @@ func (a *Run) solveSample() {
 		return
 	}
 	// Remap sampled elements to a compact universe [0, usmplCnt).
-	remap := make(map[int]int, a.usmplCnt)
+	remap := make(map[int32]int32, a.usmplCnt)
 	a.usmpl.Range(func(e int) bool {
-		remap[e] = len(remap)
+		remap[int32(e)] = int32(len(remap))
 		return true
 	})
-	sub := &setsystem.Instance{N: a.usmplCnt, Sets: make([][]int, len(a.projs))}
-	for i, proj := range a.projs {
-		s := make([]int, len(proj))
-		for j, e := range proj {
-			s[j] = remap[e]
+	// Build the sub-instance straight from the flat projection arena.
+	sb := setsystem.NewBuilder(a.usmplCnt)
+	sb.Grow(len(a.projIDs), len(a.projElems))
+	for i := range a.projIDs {
+		for _, e := range a.projElems[a.projOffs[i]:a.projOffs[i+1]] {
+			sb.Append(remap[e])
 		}
-		sort.Ints(s)
-		sub.Sets[i] = s
+		slices.Sort(sb.EndSet())
 	}
+	sub := sb.Build()
 
 	var picked []int
 	switch a.cfg.Subsolver {
@@ -400,11 +412,14 @@ func (a *Run) takeSet(id int) {
 	}
 }
 
+// freeProjections ends the accounting life of the stored projections. The
+// backing arrays keep their capacity for the next iteration (the space
+// charge is what the algorithm logically retains, not Go's allocator
+// state), except the sample bitset count which must read as zero.
 func (a *Run) freeProjections() {
-	a.projIDs = nil
-	a.projs = nil
-	a.projWrds = 0
-	a.usmpl = nil
+	a.projIDs = a.projIDs[:0]
+	a.projOffs = a.projOffs[:0]
+	a.projElems = a.projElems[:0]
 	a.usmplCnt = 0
 }
 
@@ -416,7 +431,7 @@ func (a *Run) Space() int {
 	if a.u != nil {
 		sp += a.n
 	}
-	sp += a.usmplCnt + a.projWrds
+	sp += a.usmplCnt + len(a.projIDs) + len(a.projElems)
 	return sp
 }
 

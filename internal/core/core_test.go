@@ -90,7 +90,7 @@ func TestSolveDeterministic(t *testing.T) {
 }
 
 func TestSolveInfeasible(t *testing.T) {
-	inst := &setsystem.Instance{N: 10, Sets: [][]int{{0, 1}, {2, 3}}}
+	inst := setsystem.FromSets(10, [][]int{{0, 1}, {2, 3}})
 	_, _, err := Solve(inst, stream.Adversarial, Config{Alpha: 2}, rng.New(1))
 	if err != offline.ErrInfeasible {
 		t.Fatalf("err = %v, want ErrInfeasible", err)

@@ -217,8 +217,8 @@ func TestSetCoverSetSizes(t *testing.T) {
 	r := rng.New(8)
 	p := SCParams{N: 2048, M: 20, Alpha: 2, TOverride: 32}
 	sc := SampleSetCover(p, 0, r)
-	for i, s := range sc.Inst.Sets {
-		frac := float64(len(s)) / float64(sc.N)
+	for i := 0; i < sc.Inst.M(); i++ {
+		frac := float64(sc.Inst.SetLen(i)) / float64(sc.N)
 		if frac < 0.4 || frac > 0.9 {
 			t.Fatalf("set %d size fraction %v too far from 2/3", i, frac)
 		}
@@ -366,14 +366,14 @@ func TestMaxCoverClaim44(t *testing.T) {
 		return c
 	}
 	for i := 0; i < p.M; i++ {
-		si := mc.Inst.Sets[mc.AliceSet(i)]
-		ti := mc.Inst.Sets[mc.BobSet(i)]
+		si := mc.Inst.Set(mc.AliceSet(i))
+		ti := mc.Inst.Set(mc.BobSet(i))
 		union := map[int]bool{}
 		for _, e := range si {
-			union[e] = true
+			union[int(e)] = true
 		}
 		for _, e := range ti {
-			union[e] = true
+			union[int(e)] = true
 		}
 		var u []int
 		for e := range union {

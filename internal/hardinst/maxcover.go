@@ -71,9 +71,8 @@ func SampleMaxCover(p MCParams, theta int, r *rng.RNG) *MaxCoverInstance {
 	a, b := GHDSizes(t1)
 	mc := &MaxCoverInstance{
 		Params: p, Theta: theta, IStar: -1,
-		Inst: &setsystem.Instance{N: t1 + t2, Sets: make([][]int, 2*p.M)},
-		GHD:  make([]GHD, p.M),
-		Tau:  float64(t2) + float64(a+b)/2 + float64(t1)/4,
+		GHD: make([]GHD, p.M),
+		Tau: float64(t2) + float64(a+b)/2 + float64(t1)/4,
 	}
 	for i := 0; i < p.M; i++ {
 		mc.GHD[i] = SampleGHDNo(t1, r)
@@ -82,6 +81,7 @@ func SampleMaxCover(p MCParams, theta int, r *rng.RNG) *MaxCoverInstance {
 		mc.IStar = r.Intn(p.M)
 		mc.GHD[mc.IStar] = SampleGHDYes(t1, r)
 	}
+	sets := make([][]int, 2*p.M)
 	for i := 0; i < p.M; i++ {
 		// Random partition of U2 into (C_i, D_i).
 		var ci, di []int
@@ -92,9 +92,10 @@ func SampleMaxCover(p MCParams, theta int, r *rng.RNG) *MaxCoverInstance {
 				di = append(di, e)
 			}
 		}
-		mc.Inst.Sets[mc.AliceSet(i)] = mergeSorted(mc.GHD[i].A, ci)
-		mc.Inst.Sets[mc.BobSet(i)] = mergeSorted(mc.GHD[i].B, di)
+		sets[mc.AliceSet(i)] = mergeSorted(mc.GHD[i].A, ci)
+		sets[mc.BobSet(i)] = mergeSorted(mc.GHD[i].B, di)
 	}
+	mc.Inst = setsystem.FromSets(t1+t2, sets)
 	return mc
 }
 

@@ -103,7 +103,6 @@ func SampleSetCover(p SCParams, theta int, r *rng.RNG) *SetCoverInstance {
 
 	sc := &SetCoverInstance{
 		Params: p, N: n, T: t, Theta: theta, IStar: -1,
-		Inst: &setsystem.Instance{N: n, Sets: make([][]int, 2*p.M)},
 		Disj: make([]Disj, p.M),
 	}
 	for i := 0; i < p.M; i++ {
@@ -113,11 +112,13 @@ func SampleSetCover(p SCParams, theta int, r *rng.RNG) *SetCoverInstance {
 		sc.IStar = r.Intn(p.M)
 		sc.Disj[sc.IStar] = SampleDisjYes(t, r)
 	}
+	sets := make([][]int, 2*p.M)
 	for i := 0; i < p.M; i++ {
 		f := NewMapping(t, n, r)
-		sc.Inst.Sets[sc.AliceSet(i)] = f.Complement(sc.Disj[i].A)
-		sc.Inst.Sets[sc.BobSet(i)] = f.Complement(sc.Disj[i].B)
+		sets[sc.AliceSet(i)] = f.Complement(sc.Disj[i].A)
+		sets[sc.BobSet(i)] = f.Complement(sc.Disj[i].B)
 	}
+	sc.Inst = setsystem.FromSets(n, sets)
 	return sc
 }
 

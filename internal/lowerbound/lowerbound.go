@@ -25,10 +25,11 @@ import (
 	"streamcover/internal/stream"
 )
 
-// contains reports whether sorted slice s contains v (binary search).
-func contains(s []int, v int) bool {
-	i := sort.SearchInts(s, v)
-	return i < len(s) && s[i] == v
+// contains reports whether the sorted arena view s contains v (binary
+// search over the stream item's int32 elements, no conversion copy).
+func contains(s []int32, v int) bool {
+	i := sort.Search(len(s), func(i int) bool { return int(s[i]) >= v })
+	return i < len(s) && int(s[i]) == v
 }
 
 // SCConfig configures the set cover θ-distinguisher.
@@ -253,9 +254,9 @@ func (d *MCDistinguisher) handles(pair int) bool {
 	return idx < d.assigned
 }
 
-// u1Prefix returns the portion of a sorted set within U1 = [0, t1).
-func (d *MCDistinguisher) u1Prefix(elems []int) []int {
-	hi := sort.SearchInts(elems, d.cfg.T1)
+// u1Prefix returns the portion of a sorted set view within U1 = [0, t1).
+func (d *MCDistinguisher) u1Prefix(elems []int32) []int32 {
+	hi := sort.Search(len(elems), func(i int) bool { return int(elems[i]) >= d.cfg.T1 })
 	return elems[:hi]
 }
 
@@ -296,7 +297,7 @@ func (d *MCDistinguisher) Observe(item stream.Item) {
 	}
 	samp := make([]int, want)
 	for i, idx := range d.r.KSubset(len(u1), want) {
-		samp[i] = u1[idx]
+		samp[i] = int(u1[idx])
 	}
 	d.samples[pair] = samp
 	d.sampWords += want
@@ -330,10 +331,10 @@ func min(a, b int) int {
 }
 
 // sampleComplement returns `want` uniform distinct elements of
-// [0,n) \ elems, where elems is sorted. It draws the complement positions
-// with KSubset and resolves them by walking the gaps of elems, so no
-// complement materialization or rejection loop is needed.
-func sampleComplement(elems []int, n, want int, r *rng.RNG) []int {
+// [0,n) \ elems, where elems is a sorted arena view. It draws the
+// complement positions with KSubset and resolves them by walking the gaps
+// of elems, so no complement materialization or rejection loop is needed.
+func sampleComplement(elems []int32, n, want int, r *rng.RNG) []int {
 	comp := n - len(elems)
 	if want > comp {
 		want = comp
@@ -347,7 +348,7 @@ func sampleComplement(elems []int, n, want int, r *rng.RNG) []int {
 	pos := 0 // complement positions consumed so far
 	ei := 0  // pointer into elems
 	for e := 0; e < n && pi < len(positions); e++ {
-		if ei < len(elems) && elems[ei] == e {
+		if ei < len(elems) && int(elems[ei]) == e {
 			ei++
 			continue
 		}

@@ -12,7 +12,7 @@ import (
 
 func TestSampleComplement(t *testing.T) {
 	r := rng.New(1)
-	elems := []int{1, 3, 5, 7}
+	elems := []int32{1, 3, 5, 7}
 	for trial := 0; trial < 100; trial++ {
 		s := sampleComplement(elems, 10, 4, r)
 		if len(s) != 4 {
@@ -30,18 +30,18 @@ func TestSampleComplement(t *testing.T) {
 		}
 	}
 	// want > complement size: capped.
-	if s := sampleComplement([]int{0, 1, 2}, 5, 10, r); len(s) != 2 {
+	if s := sampleComplement([]int32{0, 1, 2}, 5, 10, r); len(s) != 2 {
 		t.Fatalf("capped sample = %v", s)
 	}
 	// full set: empty sample.
-	if s := sampleComplement([]int{0, 1, 2}, 3, 5, r); len(s) != 0 {
+	if s := sampleComplement([]int32{0, 1, 2}, 3, 5, r); len(s) != 0 {
 		t.Fatalf("full-set sample = %v", s)
 	}
 }
 
 func TestSampleComplementUniform(t *testing.T) {
 	r := rng.New(2)
-	elems := []int{2, 4}
+	elems := []int32{2, 4}
 	counts := map[int]int{}
 	const trials = 30000
 	for i := 0; i < trials; i++ {

@@ -21,6 +21,7 @@ package maxcover
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"streamcover/internal/bitset"
@@ -57,14 +58,17 @@ type SampledKCover struct {
 	n, m int
 	r    *rng.RNG
 
-	sample  []int // sorted sampled universe elements
-	remap   map[int]int
-	projIDs []int
-	projs   [][]int
-	words   int
-	chosen  []int
-	err     error
-	done    bool
+	sample []int // sorted sampled universe elements
+	remap  map[int32]int32
+	// Stored projections in CSR form (flat arena + offsets), as in core.Run:
+	// the one-pass Observe path appends to flat slices instead of allocating
+	// a slice per projected set.
+	projIDs   []int
+	projOffs  []int
+	projElems []int32
+	chosen    []int
+	err       error
+	done      bool
 }
 
 // NewSampledKCover builds the algorithm for a stream with universe n and m
@@ -105,10 +109,11 @@ func (a *SampledKCover) BeginPass(pass int) {
 		return
 	}
 	a.sample = a.r.KSubset(a.n, a.SampleSize())
-	a.remap = make(map[int]int, len(a.sample))
+	a.remap = make(map[int32]int32, len(a.sample))
 	for i, e := range a.sample {
-		a.remap[e] = i
+		a.remap[int32(e)] = int32(i)
 	}
+	a.projOffs = append(a.projOffs[:0], 0)
 }
 
 // Observe implements stream.PassAlgorithm.
@@ -116,23 +121,28 @@ func (a *SampledKCover) Observe(item stream.Item) {
 	if a.done {
 		return
 	}
-	var proj []int
+	start := len(a.projElems)
 	for _, e := range item.Elems {
 		if idx, ok := a.remap[e]; ok {
-			proj = append(proj, idx)
+			a.projElems = append(a.projElems, idx)
 		}
 	}
-	if len(proj) > 0 {
-		sort.Ints(proj)
+	if len(a.projElems) > start {
+		slices.Sort(a.projElems[start:])
 		a.projIDs = append(a.projIDs, item.ID)
-		a.projs = append(a.projs, proj)
-		a.words += 1 + len(proj)
+		a.projOffs = append(a.projOffs, len(a.projElems))
 	}
 }
 
-// EndPass implements stream.PassAlgorithm: solves the sampled instance.
+// EndPass implements stream.PassAlgorithm: solves the sampled instance,
+// built straight from the flat projection arena.
 func (a *SampledKCover) EndPass() bool {
-	sub := &setsystem.Instance{N: len(a.sample), Sets: a.projs}
+	sb := setsystem.NewBuilder(len(a.sample))
+	sb.Grow(len(a.projIDs), len(a.projElems))
+	for i := range a.projIDs {
+		sb.AddSet32(a.projElems[a.projOffs[i]:a.projOffs[i+1]])
+	}
+	sub := sb.Build()
 	var picked []int
 	if a.cfg.Exact {
 		chosen, _, err := offline.MaxCoverExact(sub, a.cfg.K, offline.ExactConfig{NodeBudget: a.cfg.NodeBudget})
@@ -153,9 +163,10 @@ func (a *SampledKCover) EndPass() bool {
 	return true
 }
 
-// Space implements stream.PassAlgorithm: the sample plus stored projections.
+// Space implements stream.PassAlgorithm: the sample plus stored projections
+// (one word per retained set ID and element ID, as before the CSR layout).
 func (a *SampledKCover) Space() int {
-	return len(a.sample) + a.words + len(a.chosen)
+	return len(a.sample) + len(a.projIDs) + len(a.projElems) + len(a.chosen)
 }
 
 // Result returns the chosen set IDs and any sub-solver error.
@@ -210,7 +221,7 @@ func (s *Sieve) Observe(item stream.Item) {
 		}
 		gain := 0
 		for _, e := range item.Elems {
-			if !g.covered.Has(e) {
+			if !g.covered.Has(int(e)) {
 				gain++
 			}
 		}
@@ -218,8 +229,8 @@ func (s *Sieve) Observe(item stream.Item) {
 		if float64(gain) >= need && gain > 0 {
 			g.chosen = append(g.chosen, item.ID)
 			for _, e := range item.Elems {
-				if !g.covered.Has(e) {
-					g.covered.Set(e)
+				if !g.covered.Has(int(e)) {
+					g.covered.Set(int(e))
 					g.count++
 				}
 			}

@@ -31,9 +31,9 @@ func LowerBound(in *setsystem.Instance) int {
 
 	if g, err := Greedy(in); err == nil {
 		maxSize := 0
-		for _, s := range in.Sets {
-			if len(s) > maxSize {
-				maxSize = len(s)
+		for i := 0; i < in.M(); i++ {
+			if l := in.SetLen(i); l > maxSize {
+				maxSize = l
 			}
 		}
 		if maxSize > 0 {
@@ -66,8 +66,8 @@ func packingBound(in *setsystem.Instance) int {
 	conflict := bitset.New(in.N)
 	occ := make([][]int, in.N)
 	freq := make([]int, in.N)
-	for i, s := range in.Sets {
-		for _, e := range s {
+	for i := 0; i < in.M(); i++ {
+		for _, e := range in.Set(i) {
 			occ[e] = append(occ[e], i)
 			freq[e]++
 		}
@@ -99,9 +99,7 @@ func packingBound(in *setsystem.Instance) int {
 		}
 		count++
 		for _, si := range occ[e] {
-			for _, other := range in.Sets[si] {
-				conflict.Set(other)
-			}
+			conflict.SetAll(in.Set(si))
 		}
 	}
 	return count

@@ -21,16 +21,16 @@ func TestHarmonic(t *testing.T) {
 
 func TestLowerBoundSimple(t *testing.T) {
 	// Disjoint triples: opt = 3, packing bound finds 3.
-	in := &setsystem.Instance{N: 9, Sets: [][]int{
+	in := setsystem.FromSets(9, [][]int{
 		{0, 1, 2}, {3, 4, 5}, {6, 7, 8},
-	}}
+	})
 	if lb := LowerBound(in); lb != 3 {
 		t.Fatalf("LowerBound = %d, want 3", lb)
 	}
 }
 
 func TestLowerBoundUncoverable(t *testing.T) {
-	in := &setsystem.Instance{N: 5, Sets: [][]int{{0, 1}}}
+	in := setsystem.FromSets(5, [][]int{{0, 1}})
 	if lb := LowerBound(in); lb != 6 {
 		t.Fatalf("LowerBound = %d, want n+1 = 6", lb)
 	}
@@ -120,14 +120,14 @@ func TestOptAboveOnHardInstance(t *testing.T) {
 
 func TestPackingBoundOnPartition(t *testing.T) {
 	// A partition into k blocks has packing number exactly k.
-	in := &setsystem.Instance{N: 12, Sets: [][]int{
+	in := setsystem.FromSets(12, [][]int{
 		{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11},
-	}}
+	})
 	if pb := packingBound(in); pb != 3 {
 		t.Fatalf("packingBound = %d, want 3", pb)
 	}
 	// Overlapping sets shrink it.
-	in2 := &setsystem.Instance{N: 4, Sets: [][]int{{0, 1, 2, 3}, {0, 1}, {2, 3}}}
+	in2 := setsystem.FromSets(4, [][]int{{0, 1, 2, 3}, {0, 1}, {2, 3}})
 	if pb := packingBound(in2); pb != 1 {
 		t.Fatalf("packingBound = %d, want 1", pb)
 	}

@@ -48,12 +48,12 @@ func MaxCoverPair(in *setsystem.Instance) (i, j, coverage int) {
 		return -1, -1, 0
 	}
 	if m == 1 {
-		return 0, 0, len(in.Sets[0])
+		return 0, 0, in.SetLen(0)
 	}
 	sets := in.Bitsets()
 	sizes := make([]int, m)
-	for idx, s := range in.Sets {
-		sizes[idx] = len(s)
+	for idx := range sizes {
+		sizes[idx] = in.SetLen(idx)
 	}
 	// Order by size descending for pruning: |Si ∪ Sj| ≤ |Si| + |Sj|.
 	order := make([]int, m)
@@ -110,8 +110,8 @@ func MaxCoverExact(in *setsystem.Instance, k int, cfg ExactConfig) ([]int, int, 
 		bestCov: greedyCov,
 		best:    append([]int(nil), greedyChosen...),
 	}
-	for i, s := range in.Sets {
-		e.sizes[i] = len(s)
+	for i := range e.sizes {
+		e.sizes[i] = in.SetLen(i)
 	}
 	covered := bitset.New(in.N)
 	if err := e.dfs(0, k, covered, 0); err != nil {

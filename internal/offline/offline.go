@@ -212,9 +212,9 @@ func OptAtMost(in *setsystem.Instance, k int, cfg ExactConfig) (int, error) {
 // lowerBound returns a cheap lower bound on opt: ceil(n / max set size).
 func lowerBound(in *setsystem.Instance) int {
 	max := 0
-	for _, s := range in.Sets {
-		if len(s) > max {
-			max = len(s)
+	for i := 0; i < in.M(); i++ {
+		if l := in.SetLen(i); l > max {
+			max = l
 		}
 	}
 	if max == 0 {
@@ -241,7 +241,8 @@ type searcher struct {
 func newSearcher(in *setsystem.Instance, budget int64) *searcher {
 	s := &searcher{in: in, sets: in.Bitsets(), budget: budget}
 	s.occ = make([][]int, in.N)
-	for i, set := range in.Sets {
+	for i := 0; i < in.M(); i++ {
+		set := in.Set(i)
 		if len(set) > s.maxSize {
 			s.maxSize = len(set)
 		}

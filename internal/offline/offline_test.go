@@ -10,13 +10,13 @@ import (
 )
 
 func TestGreedySimple(t *testing.T) {
-	in := &setsystem.Instance{N: 6, Sets: [][]int{
+	in := setsystem.FromSets(6, [][]int{
 		{0, 1, 2, 3}, // greedy picks this first
 		{0, 1},
 		{2, 3},
 		{4, 5},
 		{3, 4},
-	}}
+	})
 	cover, err := Greedy(in)
 	if err != nil {
 		t.Fatal(err)
@@ -33,14 +33,14 @@ func TestGreedySimple(t *testing.T) {
 }
 
 func TestGreedyInfeasible(t *testing.T) {
-	in := &setsystem.Instance{N: 3, Sets: [][]int{{0}, {1}}}
+	in := setsystem.FromSets(3, [][]int{{0}, {1}})
 	if _, err := Greedy(in); err != ErrInfeasible {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
 }
 
 func TestGreedyEmptyUniverse(t *testing.T) {
-	in := &setsystem.Instance{N: 0, Sets: [][]int{{}}}
+	in := setsystem.FromSets(0, [][]int{{}})
 	cover, err := Greedy(in)
 	if err != nil || len(cover) != 0 {
 		t.Fatalf("cover=%v err=%v", cover, err)
@@ -48,7 +48,7 @@ func TestGreedyEmptyUniverse(t *testing.T) {
 }
 
 func TestGreedyOnTarget(t *testing.T) {
-	in := &setsystem.Instance{N: 6, Sets: [][]int{{0, 1}, {2, 3}, {4, 5}}}
+	in := setsystem.FromSets(6, [][]int{{0, 1}, {2, 3}, {4, 5}})
 	target := bitset.FromSlice(6, []int{0, 5})
 	cover, err := GreedyOn(in, target)
 	if err != nil {
@@ -56,9 +56,7 @@ func TestGreedyOnTarget(t *testing.T) {
 	}
 	got := bitset.New(6)
 	for _, i := range cover {
-		for _, e := range in.Sets[i] {
-			got.Set(e)
-		}
+		got.SetAll(in.Set(i))
 	}
 	if !target.SubsetOf(got) {
 		t.Fatalf("target not covered by %v", cover)
@@ -69,7 +67,7 @@ func TestGreedyOnTarget(t *testing.T) {
 }
 
 func TestCoverAtMost(t *testing.T) {
-	in := &setsystem.Instance{N: 4, Sets: [][]int{{0, 1}, {2, 3}, {0}, {1}, {2}, {3}}}
+	in := setsystem.FromSets(4, [][]int{{0, 1}, {2, 3}, {0}, {1}, {2}, {3}})
 	if _, ok, err := CoverAtMost(in, 1, ExactConfig{}); err != nil || ok {
 		t.Fatalf("size-1 cover reported: ok=%v err=%v", ok, err)
 	}
@@ -85,11 +83,11 @@ func TestCoverAtMost(t *testing.T) {
 func TestExactBeatsGreedyTrap(t *testing.T) {
 	// Classic greedy trap: greedy picks the big set first and needs 3 sets,
 	// optimum is 2.
-	in := &setsystem.Instance{N: 8, Sets: [][]int{
+	in := setsystem.FromSets(8, [][]int{
 		{0, 1, 2, 3, 4}, // bait
 		{0, 1, 2, 3},    // left half
 		{4, 5, 6, 7},    // right half
-	}}
+	})
 	greedy, err := Greedy(in)
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +108,7 @@ func TestExactBeatsGreedyTrap(t *testing.T) {
 }
 
 func TestOptAtMost(t *testing.T) {
-	in := &setsystem.Instance{N: 6, Sets: [][]int{{0, 1}, {2, 3}, {4, 5}, {0}, {5}}}
+	in := setsystem.FromSets(6, [][]int{{0, 1}, {2, 3}, {4, 5}, {0}, {5}})
 	opt, err := OptAtMost(in, 5, ExactConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -132,11 +130,11 @@ func TestExactBudget(t *testing.T) {
 	// Greedy overshoots k here (trap: bait set forces 3 greedy picks while
 	// opt=2), so the exhaustive search must run and exceed the 1-node
 	// budget on its first recursive call.
-	in := &setsystem.Instance{N: 8, Sets: [][]int{
+	in := setsystem.FromSets(8, [][]int{
 		{1, 2, 3, 4, 5, 6}, // bait
 		{0, 1, 2, 3},
 		{4, 5, 6, 7},
-	}}
+	})
 	if g, err := Greedy(in); err != nil || len(g) != 3 {
 		t.Fatalf("precondition: greedy = %v, %v (want 3 sets)", g, err)
 	}
@@ -149,7 +147,7 @@ func TestExactBudget(t *testing.T) {
 func TestCoverAtMostGreedyShortCircuit(t *testing.T) {
 	// With a generous k the greedy certificate avoids the search entirely:
 	// even a 1-node budget succeeds.
-	in := &setsystem.Instance{N: 4, Sets: [][]int{{0, 1}, {2, 3}}}
+	in := setsystem.FromSets(4, [][]int{{0, 1}, {2, 3}})
 	cover, ok, err := CoverAtMost(in, 3, ExactConfig{NodeBudget: 1})
 	if err != nil || !ok || len(cover) > 3 {
 		t.Fatalf("cover=%v ok=%v err=%v", cover, ok, err)
@@ -194,7 +192,7 @@ func TestPlantedExactFindsPlant(t *testing.T) {
 }
 
 func TestMaxCoverGreedy(t *testing.T) {
-	in := &setsystem.Instance{N: 6, Sets: [][]int{{0, 1, 2}, {2, 3}, {4, 5}, {0}}}
+	in := setsystem.FromSets(6, [][]int{{0, 1, 2}, {2, 3}, {4, 5}, {0}})
 	chosen, cov := MaxCoverGreedy(in, 2)
 	if len(chosen) != 2 || cov != 5 {
 		t.Fatalf("greedy k=2: chosen=%v cov=%d, want cov 5", chosen, cov)
@@ -210,12 +208,12 @@ func TestMaxCoverGreedy(t *testing.T) {
 }
 
 func TestMaxCoverPair(t *testing.T) {
-	in := &setsystem.Instance{N: 8, Sets: [][]int{
+	in := setsystem.FromSets(8, [][]int{
 		{0, 1, 2},
 		{2, 3, 4},
 		{4, 5, 6, 7},
 		{0, 1, 2, 3}, // with set 2: covers all 8
-	}}
+	})
 	i, j, cov := MaxCoverPair(in)
 	if cov != 8 {
 		t.Fatalf("pair coverage %d, want 8 (pair %d,%d)", cov, i, j)
@@ -230,7 +228,7 @@ func TestMaxCoverPairDegenerate(t *testing.T) {
 	if i, j, cov := MaxCoverPair(&setsystem.Instance{N: 5}); i != -1 || j != -1 || cov != 0 {
 		t.Fatalf("empty: %d %d %d", i, j, cov)
 	}
-	i, j, cov := MaxCoverPair(&setsystem.Instance{N: 5, Sets: [][]int{{1, 2}}})
+	i, j, cov := MaxCoverPair(setsystem.FromSets(5, [][]int{{1, 2}}))
 	if cov != 2 || i != 0 || j != 0 {
 		t.Fatalf("single: %d %d %d", i, j, cov)
 	}
@@ -262,7 +260,7 @@ func TestMaxCoverExactMatchesPairAndBeatsGreedy(t *testing.T) {
 }
 
 func TestMaxCoverExactKGEM(t *testing.T) {
-	in := &setsystem.Instance{N: 4, Sets: [][]int{{0}, {1}}}
+	in := setsystem.FromSets(4, [][]int{{0}, {1}})
 	chosen, cov, err := MaxCoverExact(in, 5, ExactConfig{})
 	if err != nil {
 		t.Fatal(err)

@@ -121,8 +121,21 @@ func Run(s stream.Stream, children []stream.PassAlgorithm, cfg Config) (stream.A
 			}
 		}
 		s.Reset()
-		items := runPass(s, children, active, pass, Workers(cfg.Workers), chunkSize, stable,
+		items, serr := runPass(s, children, active, pass, Workers(cfg.Workers), chunkSize, stable,
 			sBegin, sLast, sEnd, passDone)
+		if serr != nil {
+			// Mid-pass stream failure: mirror the sequential driver — account
+			// the partial pass, skip EndPass, surface the error.
+			sumBegin, sumLast := base, base
+			for _, ci := range active {
+				sumBegin += sBegin[ci]
+				sumLast += sLast[ci]
+			}
+			acc.PeakSpace = max(acc.PeakSpace, sumBegin, sumLast)
+			acc.Items += items
+			acc.Passes = pass + 1
+			return acc, serr
+		}
 		sumBegin, sumLast, sumEnd := base, base, base
 		for _, ci := range active {
 			sumBegin += sBegin[ci]
@@ -151,10 +164,11 @@ func Run(s stream.Stream, children []stream.PassAlgorithm, cfg Config) (stream.A
 // runPass fans one pass of s out to the active children: a worker pool owns
 // a strided partition of the children while the calling goroutine reads the
 // stream once and broadcasts read-only item chunks. Returns the number of
-// items read.
+// items read and the stream's mid-pass error, if any; on error the workers
+// skip EndPass (matching the sequential driver, which aborts before it).
 func runPass(s stream.Stream, children []stream.PassAlgorithm, active []int,
 	pass, workers, chunkSize int, stable bool,
-	sBegin, sLast, sEnd []int, passDone []bool) int {
+	sBegin, sLast, sEnd []int, passDone []bool) (int, error) {
 	w := min(workers, len(active))
 	if w < 1 {
 		w = 1
@@ -163,6 +177,10 @@ func runPass(s stream.Stream, children []stream.PassAlgorithm, active []int,
 	for i := range chans {
 		chans[i] = make(chan []stream.Item, 4)
 	}
+	// failed is written by the producer before the channels close and read
+	// by workers only after their channel is drained, so the close is the
+	// happens-before edge.
+	failed := false
 	var wg sync.WaitGroup
 	for wi := 0; wi < w; wi++ {
 		wg.Add(1)
@@ -183,6 +201,9 @@ func runPass(s stream.Stream, children []stream.PassAlgorithm, active []int,
 					}
 					sLast[ci] = c.Space()
 				}
+			}
+			if failed {
+				return
 			}
 			for j := wi; j < len(active); j += w {
 				ci := active[j]
@@ -208,7 +229,7 @@ func runPass(s stream.Stream, children []stream.PassAlgorithm, active []int,
 			break
 		}
 		if !stable {
-			item.Elems = append([]int(nil), item.Elems...)
+			item.Elems = append([]int32(nil), item.Elems...)
 		}
 		items++
 		batch = append(batch, item)
@@ -217,11 +238,13 @@ func runPass(s stream.Stream, children []stream.PassAlgorithm, active []int,
 		}
 	}
 	flush()
+	serr := stream.PassErr(s)
+	failed = serr != nil
 	for _, ch := range chans {
 		close(ch)
 	}
 	wg.Wait()
-	return items
+	return items, serr
 }
 
 // minInline is the candidate count below which ArgMax runs inline

@@ -18,7 +18,7 @@ type sliceStream struct {
 func newSliceStream(n, m int) *sliceStream {
 	s := &sliceStream{pos: m}
 	for id := 0; id < m; id++ {
-		elems := []int{id % n, (id * 7) % n, (id*13 + 5) % n}
+		elems := []int32{int32(id % n), int32((id * 7) % n), int32((id*13 + 5) % n)}
 		s.items = append(s.items, stream.Item{ID: id, Elems: elems})
 	}
 	return s

@@ -17,18 +17,21 @@ import (
 //
 // Lines beginning with '#' are comments. Set IDs must be 0..m-1 and each
 // must appear exactly once; elements are whitespace-separated integers.
+//
+// A compact binary codec lives alongside in binary.go; ReadAuto sniffs the
+// leading magic bytes and dispatches to the right decoder.
 
 // Write encodes the instance in the text format.
 func Write(w io.Writer, in *Instance) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "setcover %d %d\n", in.N, len(in.Sets)); err != nil {
+	if _, err := fmt.Fprintf(bw, "setcover %d %d\n", in.N, in.M()); err != nil {
 		return err
 	}
-	for i, s := range in.Sets {
+	for i := 0; i < in.M(); i++ {
 		if _, err := fmt.Fprintf(bw, "%d", i); err != nil {
 			return err
 		}
-		for _, e := range s {
+		for _, e := range in.Set(i) {
 			if _, err := fmt.Fprintf(bw, " %d", e); err != nil {
 				return err
 			}
@@ -44,7 +47,9 @@ func Write(w io.Writer, in *Instance) error {
 func Read(r io.Reader) (*Instance, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	var in *Instance
+	var sets [][]int
+	headerSeen := false
+	n := 0
 	seen := map[int]bool{}
 	line := 0
 	for sc.Scan() {
@@ -54,20 +59,22 @@ func Read(r io.Reader) (*Instance, error) {
 			continue
 		}
 		fields := strings.Fields(text)
-		if in == nil {
+		if !headerSeen {
 			if len(fields) != 3 || fields[0] != "setcover" {
 				return nil, fmt.Errorf("setsystem: line %d: expected header 'setcover <n> <m>'", line)
 			}
-			n, err1 := strconv.Atoi(fields[1])
+			hn, err1 := strconv.Atoi(fields[1])
 			m, err2 := strconv.Atoi(fields[2])
-			if err1 != nil || err2 != nil || n < 0 || m < 0 {
+			if err1 != nil || err2 != nil || hn < 0 || m < 0 {
 				return nil, fmt.Errorf("setsystem: line %d: bad header values", line)
 			}
-			in = &Instance{N: n, Sets: make([][]int, m)}
+			n = hn
+			sets = make([][]int, m)
+			headerSeen = true
 			continue
 		}
 		id, err := strconv.Atoi(fields[0])
-		if err != nil || id < 0 || id >= len(in.Sets) {
+		if err != nil || id < 0 || id >= len(sets) {
 			return nil, fmt.Errorf("setsystem: line %d: bad set id %q", line, fields[0])
 		}
 		if seen[id] {
@@ -77,25 +84,39 @@ func Read(r io.Reader) (*Instance, error) {
 		elems := make([]int, 0, len(fields)-1)
 		for _, f := range fields[1:] {
 			e, err := strconv.Atoi(f)
-			if err != nil {
+			if err != nil || e < 0 || e > MaxElement {
+				// The arena panics on int32 overflow; reject here so a
+				// malformed file is an error, never a panic.
 				return nil, fmt.Errorf("setsystem: line %d: bad element %q", line, f)
 			}
 			elems = append(elems, e)
 		}
-		in.Sets[id] = elems
+		sets[id] = elems
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if in == nil {
+	if !headerSeen {
 		return nil, fmt.Errorf("setsystem: empty input")
 	}
-	if len(seen) != len(in.Sets) {
-		return nil, fmt.Errorf("setsystem: %d of %d sets missing", len(in.Sets)-len(seen), len(in.Sets))
+	if len(seen) != len(sets) {
+		return nil, fmt.Errorf("setsystem: %d of %d sets missing", len(sets)-len(seen), len(sets))
 	}
+	in := FromSets(n, sets)
 	in.SortSets()
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	return in, nil
+}
+
+// ReadAuto decodes an instance from either codec, sniffing the binary magic
+// bytes first.
+func ReadAuto(r io.Reader) (*Instance, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binaryMagic))
+	if err == nil && string(head) == binaryMagic {
+		return ReadBinary(br)
+	}
+	return Read(br)
 }

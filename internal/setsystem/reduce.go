@@ -25,14 +25,14 @@ func ReduceDominated(in *Instance) (reduced *Instance, kept []int) {
 	}
 	// Counting sort on size, then stable within size by index.
 	maxSize := 0
-	for _, s := range in.Sets {
-		if len(s) > maxSize {
-			maxSize = len(s)
+	for i := 0; i < m; i++ {
+		if l := in.SetLen(i); l > maxSize {
+			maxSize = l
 		}
 	}
 	buckets := make([][]int, maxSize+1)
-	for i, s := range in.Sets {
-		buckets[len(s)] = append(buckets[len(s)], i)
+	for i := 0; i < m; i++ {
+		buckets[in.SetLen(i)] = append(buckets[in.SetLen(i)], i)
 	}
 	order = order[:0]
 	for size := maxSize; size >= 0; size-- {
@@ -59,9 +59,10 @@ func ReduceDominated(in *Instance) (reduced *Instance, kept []int) {
 	}
 	// Restore original relative order for determinism and readability.
 	sort.Ints(keptOrig)
-	reduced = &Instance{N: in.N, Sets: make([][]int, len(keptOrig))}
-	for ri, oi := range keptOrig {
-		reduced.Sets[ri] = append([]int(nil), in.Sets[oi]...)
+	b := NewBuilder(in.N)
+	b.Grow(len(keptOrig), in.TotalElems())
+	for _, oi := range keptOrig {
+		b.AddSet32(in.Set(oi))
 	}
-	return reduced, keptOrig
+	return b.Build(), keptOrig
 }

@@ -4,19 +4,18 @@ import (
 	"testing"
 	"testing/quick"
 
-	"streamcover/internal/bitset"
 	"streamcover/internal/rng"
 )
 
 func TestReduceDominatedBasic(t *testing.T) {
-	in := &Instance{N: 6, Sets: [][]int{
+	in := FromSets(6, [][]int{
 		{0, 1, 2},
 		{0, 1}, // subsumed by 0
 		{3, 4, 5},
 		{3, 4, 5}, // duplicate of 2
 		{5},       // subsumed by 2
 		{2, 3},    // kept: not inside any other
-	}}
+	})
 	red, kept := ReduceDominated(in)
 	if len(kept) != 3 {
 		t.Fatalf("kept %v", kept)
@@ -43,7 +42,7 @@ func TestReduceDominatedEmpty(t *testing.T) {
 }
 
 func TestReduceDominatedKeepsOneOfEqualDuplicates(t *testing.T) {
-	in := &Instance{N: 3, Sets: [][]int{{0, 1}, {0, 1}, {0, 1}}}
+	in := FromSets(3, [][]int{{0, 1}, {0, 1}, {0, 1}})
 	red, kept := ReduceDominated(in)
 	if red.M() != 1 || len(kept) != 1 {
 		t.Fatalf("dups not collapsed: %v", kept)
@@ -75,11 +74,11 @@ func TestQuickReducePreservesCoverage(t *testing.T) {
 			return false
 		}
 		// Every original set fits inside a kept one.
-		for _, s := range in.Sets {
-			b := bitset.FromSlice(in.N, s)
+		for si := 0; si < in.M(); si++ {
+			b := in.Bitset(si)
 			found := false
-			for _, rs := range red.Sets {
-				if b.SubsetOf(bitset.FromSlice(in.N, rs)) {
+			for ri := 0; ri < red.M(); ri++ {
+				if b.SubsetOf(red.Bitset(ri)) {
 					found = true
 					break
 				}

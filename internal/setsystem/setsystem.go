@@ -4,25 +4,83 @@
 //
 // An Instance is the at-rest representation; streaming algorithms never see
 // one directly but consume it through package stream one set at a time.
+//
+// # Storage layout
+//
+// Instances are stored in compressed-sparse-row (CSR) form: one flat
+// []int32 element arena plus an offsets table, so set i is the contiguous
+// view elems[offsets[i]:offsets[i+1]]. Compared to a [][]int
+// slice-of-slices this removes one pointer chase and one heap object per
+// set, keeps multi-pass scans cache-linear, and makes the whole instance a
+// pair of flat arrays — cheap to broadcast read-only across worker
+// goroutines and directly serializable by the binary codec. Elements are
+// int32 (universes beyond 2^31−1 are outside every workload this
+// repository targets and are rejected at construction).
 package setsystem
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"streamcover/internal/bitset"
 	"streamcover/internal/rng"
 )
 
+// MaxElement is the largest universe element the CSR layout can store.
+const MaxElement = int(^uint32(0) >> 1) // math.MaxInt32
+
 // Instance is a set-cover (or maximum-coverage) instance: m subsets of the
-// universe [0, N). Sets[i] is sorted and duplicate-free.
+// universe [0, N) in CSR layout. Construct with FromSets or a Builder; the
+// zero value (and &Instance{N: n}) is a valid empty instance. Sets are
+// expected to be sorted and duplicate-free (call SortSets after assembling
+// from unnormalized data; Validate checks).
 type Instance struct {
-	N    int
-	Sets [][]int
+	N int
+
+	offsets []int   // len M()+1 when sets exist; offsets[0] == 0
+	elems   []int32 // flat element arena
+}
+
+// FromSets builds an instance over [0, n) from a slice of sets, copying the
+// elements into a fresh arena. Elements are not normalized or range-checked
+// (use SortSets/Validate), but must fit in int32.
+func FromSets(n int, sets [][]int) *Instance {
+	total := 0
+	for _, s := range sets {
+		total += len(s)
+	}
+	b := NewBuilder(n)
+	b.Grow(len(sets), total)
+	for _, s := range sets {
+		b.AddSet(s)
+	}
+	return b.Build()
 }
 
 // M returns the number of sets.
-func (in *Instance) M() int { return len(in.Sets) }
+func (in *Instance) M() int {
+	if len(in.offsets) == 0 {
+		return 0
+	}
+	return len(in.offsets) - 1
+}
+
+// Set returns set i as a zero-copy view into the instance's element arena.
+// The view is valid for the life of the instance; callers must not append
+// to it (the capacity is clipped so an append cannot bleed into set i+1,
+// but would still allocate a confusing copy) and must not mutate it unless
+// they own the instance.
+func (in *Instance) Set(i int) []int32 {
+	return in.elems[in.offsets[i]:in.offsets[i+1]:in.offsets[i+1]]
+}
+
+// SetLen returns |S_i| without materializing a view.
+func (in *Instance) SetLen(i int) int {
+	return in.offsets[i+1] - in.offsets[i]
+}
+
+// TotalElems returns Σ|S_i|, the arena length.
+func (in *Instance) TotalElems() int { return len(in.elems) }
 
 // Validate checks structural invariants: elements in range, sets sorted and
 // duplicate-free. It returns the first violation found.
@@ -30,9 +88,10 @@ func (in *Instance) Validate() error {
 	if in.N < 0 {
 		return fmt.Errorf("setsystem: negative universe size %d", in.N)
 	}
-	for i, s := range in.Sets {
+	for i := 0; i < in.M(); i++ {
+		s := in.Set(i)
 		for j, e := range s {
-			if e < 0 || e >= in.N {
+			if e < 0 || int(e) >= in.N {
 				return fmt.Errorf("setsystem: set %d element %d out of range [0,%d)", i, e, in.N)
 			}
 			if j > 0 && s[j-1] >= e {
@@ -45,14 +104,17 @@ func (in *Instance) Validate() error {
 
 // Bitset returns set i as a bitset over [0, N).
 func (in *Instance) Bitset(i int) *bitset.Bitset {
-	return bitset.FromSlice(in.N, in.Sets[i])
+	b := bitset.New(in.N)
+	b.SetAll(in.Set(i))
+	return b
 }
 
-// Bitsets materializes every set as a bitset. The result is O(m·n/64) words;
-// intended for offline solvers and verification, not streaming code.
+// Bitsets materializes every set as a bitset, straight from the arena. The
+// result is O(m·n/64) words; intended for offline solvers and verification,
+// not streaming code.
 func (in *Instance) Bitsets() []*bitset.Bitset {
-	out := make([]*bitset.Bitset, len(in.Sets))
-	for i := range in.Sets {
+	out := make([]*bitset.Bitset, in.M())
+	for i := range out {
 		out[i] = in.Bitset(i)
 	}
 	return out
@@ -63,9 +125,7 @@ func (in *Instance) Bitsets() []*bitset.Bitset {
 func (in *Instance) CoverageOf(indices []int) int {
 	cov := bitset.New(in.N)
 	for _, i := range indices {
-		for _, e := range in.Sets[i] {
-			cov.Set(e)
-		}
+		cov.SetAll(in.Set(i))
 	}
 	return cov.Count()
 }
@@ -78,20 +138,18 @@ func (in *Instance) IsCover(indices []int) bool {
 // Coverable reports whether the union of all sets is the universe, i.e.
 // whether a feasible set cover exists at all.
 func (in *Instance) Coverable() bool {
-	all := make([]int, len(in.Sets))
-	for i := range all {
-		all[i] = i
-	}
-	return in.IsCover(all)
+	cov := bitset.New(in.N)
+	cov.SetAll(in.elems)
+	return cov.Count() == in.N
 }
 
 // Clone returns a deep copy of the instance.
 func (in *Instance) Clone() *Instance {
-	sets := make([][]int, len(in.Sets))
-	for i, s := range in.Sets {
-		sets[i] = append([]int(nil), s...)
+	return &Instance{
+		N:       in.N,
+		offsets: slices.Clone(in.offsets),
+		elems:   slices.Clone(in.elems),
 	}
-	return &Instance{N: in.N, Sets: sets}
 }
 
 // Stats summarizes an instance for reporting.
@@ -107,19 +165,20 @@ type Stats struct {
 
 // ComputeStats scans the instance once and returns summary statistics.
 func ComputeStats(in *Instance) Stats {
-	st := Stats{N: in.N, M: len(in.Sets), MinSize: -1}
+	st := Stats{N: in.N, M: in.M(), MinSize: -1}
 	freq := make([]int, in.N)
-	for _, s := range in.Sets {
-		st.TotalSize += len(s)
-		if st.MinSize < 0 || len(s) < st.MinSize {
-			st.MinSize = len(s)
+	st.TotalSize = in.TotalElems()
+	for i := 0; i < st.M; i++ {
+		l := in.SetLen(i)
+		if st.MinSize < 0 || l < st.MinSize {
+			st.MinSize = l
 		}
-		if len(s) > st.MaxSize {
-			st.MaxSize = len(s)
+		if l > st.MaxSize {
+			st.MaxSize = l
 		}
-		for _, e := range s {
-			freq[e]++
-		}
+	}
+	for _, e := range in.elems {
+		freq[e]++
 	}
 	if st.MinSize < 0 {
 		st.MinSize = 0
@@ -143,25 +202,89 @@ func ComputeStats(in *Instance) Stats {
 	return st
 }
 
-// SortSets normalizes every set in place: sorted, duplicates removed.
+// SortSets normalizes every set in place: sorted, duplicates removed. The
+// arena is compacted when duplicates are dropped.
 func (in *Instance) SortSets() {
-	for i, s := range in.Sets {
-		sort.Ints(s)
-		in.Sets[i] = dedupSorted(s)
+	w := 0 // arena write pointer
+	for i := 0; i < in.M(); i++ {
+		s := in.elems[in.offsets[i]:in.offsets[i+1]]
+		slices.Sort(s)
+		start := w
+		for j, v := range s {
+			if j > 0 && v == in.elems[w-1] {
+				continue
+			}
+			in.elems[w] = v
+			w++
+		}
+		in.offsets[i] = start
 	}
+	if m := in.M(); m > 0 {
+		in.offsets[m] = w
+	}
+	in.elems = in.elems[:w]
 }
 
-func dedupSorted(s []int) []int {
-	if len(s) < 2 {
-		return s
-	}
-	out := s[:1]
-	for _, v := range s[1:] {
-		if v != out[len(out)-1] {
-			out = append(out, v)
+// --- Builder --------------------------------------------------------------
+
+// Builder assembles an Instance set by set into a single arena. The zero
+// value is unusable; call NewBuilder.
+type Builder struct {
+	n       int
+	offsets []int
+	elems   []int32
+}
+
+// NewBuilder returns a builder for an instance over the universe [0, n).
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, offsets: []int{0}}
+}
+
+// Grow pre-allocates capacity for the given number of additional sets and
+// elements (a hint; exceeding it is fine).
+func (b *Builder) Grow(sets, elems int) {
+	b.offsets = slices.Grow(b.offsets, sets)
+	b.elems = slices.Grow(b.elems, elems)
+}
+
+// AddSet appends a set, copying and converting its elements. It panics if
+// an element does not fit in int32 (range vs. the universe is checked by
+// Validate, not here, so invalid instances can be built for negative
+// tests).
+func (b *Builder) AddSet(s []int) {
+	for _, e := range s {
+		if e > MaxElement || e < -MaxElement-1 {
+			panic(fmt.Sprintf("setsystem: element %d overflows int32", e))
 		}
+		b.elems = append(b.elems, int32(e))
 	}
-	return out
+	b.offsets = append(b.offsets, len(b.elems))
+}
+
+// AddSet32 appends a set of int32 elements, copying them.
+func (b *Builder) AddSet32(s []int32) {
+	b.elems = append(b.elems, s...)
+	b.offsets = append(b.offsets, len(b.elems))
+}
+
+// Append adds one element to the currently open set (the set is open from
+// the previous EndSet/AddSet boundary and closed by the next EndSet).
+func (b *Builder) Append(e int32) { b.elems = append(b.elems, e) }
+
+// EndSet closes the set being filled by Append and returns a mutable view
+// of it (e.g. to sort in place before starting the next set).
+func (b *Builder) EndSet() []int32 {
+	start := b.offsets[len(b.offsets)-1]
+	b.offsets = append(b.offsets, len(b.elems))
+	return b.elems[start:len(b.elems):len(b.elems)]
+}
+
+// Len returns the number of sets added so far.
+func (b *Builder) Len() int { return len(b.offsets) - 1 }
+
+// Build finalizes the instance. The builder must not be reused afterwards.
+func (b *Builder) Build() *Instance {
+	return &Instance{N: b.n, offsets: b.offsets, elems: b.elems}
 }
 
 // --- Generators -----------------------------------------------------------
@@ -172,15 +295,16 @@ func Uniform(r *rng.RNG, n, m, minSize, maxSize int) *Instance {
 	if minSize < 0 || maxSize > n || minSize > maxSize {
 		panic("setsystem: invalid size range")
 	}
-	sets := make([][]int, m)
-	for i := range sets {
+	b := NewBuilder(n)
+	b.Grow(m, m*(minSize+maxSize)/2)
+	for i := 0; i < m; i++ {
 		k := minSize
 		if maxSize > minSize {
 			k += r.Intn(maxSize - minSize + 1)
 		}
-		sets[i] = r.KSubset(n, k)
+		b.AddSet(r.KSubset(n, k))
 	}
-	return &Instance{N: n, Sets: sets}
+	return b.Build()
 }
 
 // PlantedCover returns an instance with a planted optimal cover of exactly
@@ -200,7 +324,7 @@ func PlantedCover(r *rng.RNG, n, m, optSize int, decoyFrac float64) (*Instance, 
 		lo := b * n / optSize
 		hi := (b + 1) * n / optSize
 		blk := append([]int(nil), perm[lo:hi]...)
-		sort.Ints(blk)
+		slices.Sort(blk)
 		sets = append(sets, blk)
 	}
 	// Decoys: random subsets of decoyFrac·(n/optSize) elements.
@@ -224,8 +348,32 @@ func PlantedCover(r *rng.RNG, n, m, optSize int, decoyFrac float64) (*Instance, 
 			planted = append(planted, p)
 		}
 	}
-	sort.Ints(planted)
-	return &Instance{N: n, Sets: shuffled}, planted
+	slices.Sort(planted)
+	return FromSets(n, shuffled), planted
+}
+
+// dedupScratch is the shared per-generator deduplication state: a stamp
+// array indexed by element, bumped once per set, so membership checks need
+// no clearing and no per-set map allocation (the map-per-set version
+// dominated GenerateZipf profiles).
+type dedupScratch struct {
+	stamp []int32
+	epoch int32
+}
+
+func newDedupScratch(n int) *dedupScratch {
+	return &dedupScratch{stamp: make([]int32, n)}
+}
+
+// next starts a new set; seen reports (and records) membership.
+func (d *dedupScratch) next() { d.epoch++ }
+
+func (d *dedupScratch) seen(e int) bool {
+	if d.stamp[e] == d.epoch {
+		return true
+	}
+	d.stamp[e] = d.epoch
+	return false
 }
 
 // Zipf returns an instance where set sizes follow a Zipf-like distribution
@@ -236,30 +384,30 @@ func Zipf(r *rng.RNG, n, m int, s float64, maxSize int) *Instance {
 	if maxSize > n {
 		maxSize = n
 	}
-	sets := make([][]int, m)
-	for i := range sets {
+	b := NewBuilder(n)
+	b.Grow(m, m*4) // Zipf sizes are head-heavy; the arena grows as needed
+	scratch := newDedupScratch(n)
+	for i := 0; i < m; i++ {
 		k := r.Zipf(s, maxSize)
 		// Skewed element choice: mix uniform picks with popularity-biased
-		// picks (element ~ Zipf rank), then dedup.
-		seen := make(map[int]struct{}, k)
-		elems := make([]int, 0, k)
-		for len(elems) < k {
+		// picks (element ~ Zipf rank), then dedup via the stamp scratch.
+		scratch.next()
+		for added := 0; added < k; {
 			var e int
 			if r.Bernoulli(0.5) {
 				e = r.Intn(n)
 			} else {
 				e = r.Zipf(s, n) - 1
 			}
-			if _, ok := seen[e]; ok {
+			if scratch.seen(e) {
 				continue
 			}
-			seen[e] = struct{}{}
-			elems = append(elems, e)
+			b.Append(int32(e))
+			added++
 		}
-		sort.Ints(elems)
-		sets[i] = elems
+		slices.Sort(b.EndSet())
 	}
-	return &Instance{N: n, Sets: sets}
+	return b.Build()
 }
 
 // Clustered returns an instance where the universe is split into nClusters
@@ -272,8 +420,10 @@ func Clustered(r *rng.RNG, n, m, nClusters, setSize int, outlierFrac float64) *I
 	if setSize > n {
 		setSize = n
 	}
-	sets := make([][]int, m)
-	for i := range sets {
+	b := NewBuilder(n)
+	b.Grow(m, m*setSize)
+	scratch := newDedupScratch(n)
+	for i := 0; i < m; i++ {
 		c := r.Intn(nClusters)
 		lo := c * n / nClusters
 		hi := (c + 1) * n / nClusters
@@ -281,22 +431,22 @@ func Clustered(r *rng.RNG, n, m, nClusters, setSize int, outlierFrac float64) *I
 		if inCluster > hi-lo {
 			inCluster = hi - lo
 		}
-		seen := make(map[int]struct{}, setSize)
-		elems := make([]int, 0, setSize)
+		scratch.next()
+		added := 0
 		for _, e := range r.KSubset(hi-lo, inCluster) {
-			elems = append(elems, lo+e)
-			seen[lo+e] = struct{}{}
+			scratch.seen(lo + e)
+			b.Append(int32(lo + e))
+			added++
 		}
-		for len(elems) < setSize {
+		for added < setSize {
 			e := r.Intn(n)
-			if _, ok := seen[e]; ok {
+			if scratch.seen(e) {
 				continue
 			}
-			seen[e] = struct{}{}
-			elems = append(elems, e)
+			b.Append(int32(e))
+			added++
 		}
-		sort.Ints(elems)
-		sets[i] = elems
+		slices.Sort(b.EndSet())
 	}
-	return &Instance{N: n, Sets: sets}
+	return b.Build()
 }

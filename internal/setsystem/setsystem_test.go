@@ -9,17 +9,37 @@ import (
 	"streamcover/internal/rng"
 )
 
+// equalInstances reports whether two instances have identical universes and
+// identical sets (by arena comparison).
+func equalInstances(a, b *Instance) bool {
+	if a.N != b.N || a.M() != b.M() {
+		return false
+	}
+	for i := 0; i < a.M(); i++ {
+		sa, sb := a.Set(i), b.Set(i)
+		if len(sa) != len(sb) {
+			return false
+		}
+		for j := range sa {
+			if sa[j] != sb[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 func TestValidate(t *testing.T) {
-	good := &Instance{N: 5, Sets: [][]int{{0, 1}, {2, 4}, {}}}
+	good := FromSets(5, [][]int{{0, 1}, {2, 4}, {}})
 	if err := good.Validate(); err != nil {
 		t.Fatalf("valid instance rejected: %v", err)
 	}
 	cases := []*Instance{
-		{N: 5, Sets: [][]int{{0, 5}}}, // out of range
-		{N: 5, Sets: [][]int{{-1}}},   // negative
-		{N: 5, Sets: [][]int{{2, 1}}}, // unsorted
-		{N: 5, Sets: [][]int{{1, 1}}}, // duplicate
-		{N: -1, Sets: nil},            // bad n
+		FromSets(5, [][]int{{0, 5}}), // out of range
+		FromSets(5, [][]int{{-1}}),   // negative
+		FromSets(5, [][]int{{2, 1}}), // unsorted
+		FromSets(5, [][]int{{1, 1}}), // duplicate
+		FromSets(-1, nil),            // bad n
 	}
 	for i, in := range cases {
 		if err := in.Validate(); err == nil {
@@ -28,8 +48,43 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+func TestEmptyInstanceForms(t *testing.T) {
+	// The zero value and the N-only literal are valid empty instances.
+	for _, in := range []*Instance{{}, {N: 7}, FromSets(7, nil)} {
+		if in.M() != 0 || in.TotalElems() != 0 {
+			t.Fatalf("empty instance reports m=%d total=%d", in.M(), in.TotalElems())
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("empty instance invalid: %v", err)
+		}
+	}
+}
+
+func TestSetViews(t *testing.T) {
+	in := FromSets(6, [][]int{{0, 1, 2}, {}, {3, 5}})
+	if in.SetLen(0) != 3 || in.SetLen(1) != 0 || in.SetLen(2) != 2 {
+		t.Fatalf("SetLen mismatch")
+	}
+	if in.TotalElems() != 5 {
+		t.Fatalf("TotalElems = %d", in.TotalElems())
+	}
+	s2 := in.Set(2)
+	if len(s2) != 2 || s2[0] != 3 || s2[1] != 5 {
+		t.Fatalf("Set(2) = %v", s2)
+	}
+	// Views have clipped capacity: an append must not bleed into the arena.
+	s0 := in.Set(0)
+	_ = append(s0, 99)
+	if got := in.Set(1); len(got) != 0 {
+		t.Fatalf("append through view corrupted the arena: set 1 = %v", got)
+	}
+	if s2[0] != 3 {
+		t.Fatalf("append through view overwrote a neighbor: %v", s2)
+	}
+}
+
 func TestCoverageAndIsCover(t *testing.T) {
-	in := &Instance{N: 6, Sets: [][]int{{0, 1, 2}, {2, 3}, {4, 5}, {0, 5}}}
+	in := FromSets(6, [][]int{{0, 1, 2}, {2, 3}, {4, 5}, {0, 5}})
 	if got := in.CoverageOf([]int{0, 1}); got != 4 {
 		t.Fatalf("CoverageOf = %d, want 4", got)
 	}
@@ -42,14 +97,14 @@ func TestCoverageAndIsCover(t *testing.T) {
 	if !in.Coverable() {
 		t.Fatal("Coverable false for coverable instance")
 	}
-	bad := &Instance{N: 3, Sets: [][]int{{0}, {1}}}
+	bad := FromSets(3, [][]int{{0}, {1}})
 	if bad.Coverable() {
 		t.Fatal("Coverable true for uncoverable instance")
 	}
 }
 
 func TestStats(t *testing.T) {
-	in := &Instance{N: 4, Sets: [][]int{{0, 1}, {1, 2, 3}, {}}}
+	in := FromSets(4, [][]int{{0, 1}, {1, 2, 3}, {}})
 	st := ComputeStats(in)
 	if st.N != 4 || st.M != 3 || st.MinSize != 0 || st.MaxSize != 3 || st.TotalSize != 5 {
 		t.Fatalf("stats = %+v", st)
@@ -60,13 +115,55 @@ func TestStats(t *testing.T) {
 }
 
 func TestSortSets(t *testing.T) {
-	in := &Instance{N: 10, Sets: [][]int{{5, 3, 3, 1}, {9, 9}}}
+	in := FromSets(10, [][]int{{5, 3, 3, 1}, {9, 9}, {7}})
 	in.SortSets()
 	if err := in.Validate(); err != nil {
 		t.Fatalf("after SortSets: %v", err)
 	}
-	if len(in.Sets[0]) != 3 || len(in.Sets[1]) != 1 {
-		t.Fatalf("dedup failed: %v", in.Sets)
+	if in.SetLen(0) != 3 || in.SetLen(1) != 1 || in.SetLen(2) != 1 {
+		t.Fatalf("dedup failed: lens %d %d %d", in.SetLen(0), in.SetLen(1), in.SetLen(2))
+	}
+	if s := in.Set(0); s[0] != 1 || s[1] != 3 || s[2] != 5 {
+		t.Fatalf("set 0 = %v", s)
+	}
+	// The arena was compacted: later sets survived the shift intact.
+	if s := in.Set(2); s[0] != 7 {
+		t.Fatalf("set 2 = %v after compaction", s)
+	}
+	if in.TotalElems() != 5 {
+		t.Fatalf("arena not compacted: total = %d", in.TotalElems())
+	}
+}
+
+func TestClone(t *testing.T) {
+	in := FromSets(5, [][]int{{0, 2}, {1}})
+	cp := in.Clone()
+	if !equalInstances(in, cp) {
+		t.Fatal("clone differs")
+	}
+	// Mutating the clone's arena must not touch the original.
+	cp.Set(0)[0] = 4
+	if in.Set(0)[0] != 0 {
+		t.Fatal("clone shares arena storage with original")
+	}
+}
+
+func TestBuilderIncremental(t *testing.T) {
+	b := NewBuilder(9)
+	b.AddSet([]int{1, 4})
+	b.Append(0)
+	b.Append(8)
+	if v := b.EndSet(); len(v) != 2 || v[0] != 0 || v[1] != 8 {
+		t.Fatalf("EndSet view = %v", v)
+	}
+	b.AddSet32([]int32{3})
+	if b.Len() != 3 {
+		t.Fatalf("builder Len = %d", b.Len())
+	}
+	in := b.Build()
+	want := FromSets(9, [][]int{{1, 4}, {0, 8}, {3}})
+	if !equalInstances(in, want) {
+		t.Fatal("builder output differs from FromSets")
 	}
 }
 
@@ -79,9 +176,9 @@ func TestUniformGenerator(t *testing.T) {
 	if in.M() != 50 {
 		t.Fatalf("M = %d", in.M())
 	}
-	for i, s := range in.Sets {
-		if len(s) < 5 || len(s) > 20 {
-			t.Fatalf("set %d size %d outside [5,20]", i, len(s))
+	for i := 0; i < in.M(); i++ {
+		if l := in.SetLen(i); l < 5 || l > 20 {
+			t.Fatalf("set %d size %d outside [5,20]", i, l)
 		}
 	}
 }
@@ -101,7 +198,7 @@ func TestPlantedCover(t *testing.T) {
 	// Planted blocks partition the universe: total size = n.
 	total := 0
 	for _, i := range planted {
-		total += len(in.Sets[i])
+		total += in.SetLen(i)
 	}
 	if total != 200 {
 		t.Fatalf("planted blocks total %d elements, want 200 (partition)", total)
@@ -117,9 +214,9 @@ func TestZipfGenerator(t *testing.T) {
 	if in.M() != 100 {
 		t.Fatalf("M = %d", in.M())
 	}
-	for _, s := range in.Sets {
-		if len(s) < 1 || len(s) > 50 {
-			t.Fatalf("zipf set size %d", len(s))
+	for i := 0; i < in.M(); i++ {
+		if l := in.SetLen(i); l < 1 || l > 50 {
+			t.Fatalf("zipf set size %d", l)
 		}
 	}
 }
@@ -132,7 +229,8 @@ func TestClusteredGenerator(t *testing.T) {
 	}
 	// Most sets should be concentrated: ≥70% of elements in one cluster.
 	concentrated := 0
-	for _, s := range in.Sets {
+	for i := 0; i < in.M(); i++ {
+		s := in.Set(i)
 		counts := make([]int, 8)
 		for _, e := range s {
 			counts[e/50]++
@@ -163,18 +261,8 @@ func TestCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.N != in.N || got.M() != in.M() {
-		t.Fatalf("round trip header mismatch: %d/%d vs %d/%d", got.N, got.M(), in.N, in.M())
-	}
-	for i := range in.Sets {
-		if len(got.Sets[i]) != len(in.Sets[i]) {
-			t.Fatalf("set %d size mismatch", i)
-		}
-		for j := range in.Sets[i] {
-			if got.Sets[i][j] != in.Sets[i][j] {
-				t.Fatalf("set %d differs", i)
-			}
-		}
+	if !equalInstances(got, in) {
+		t.Fatal("text round trip differs")
 	}
 }
 
@@ -191,20 +279,7 @@ func TestCodecQuickRoundTrip(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if got.N != in.N || got.M() != in.M() {
-			return false
-		}
-		for i := range in.Sets {
-			if len(got.Sets[i]) != len(in.Sets[i]) {
-				return false
-			}
-			for j := range in.Sets[i] {
-				if got.Sets[i][j] != in.Sets[i][j] {
-					return false
-				}
-			}
-		}
-		return true
+		return equalInstances(got, in)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
@@ -221,6 +296,9 @@ func TestCodecErrors(t *testing.T) {
 		"setcover 5 2\n0 1\n",      // missing set
 		"setcover 5 1\n0 1 x\n",    // bad element
 		"setcover 5 1\n0 9\n",      // element out of range
+		"setcover 5 1\n0 -2\n",     // negative element
+		// int32-overflow element: must be an error, never an arena panic.
+		"setcover 10 1\n0 4000000000\n",
 	}
 	for i, c := range cases {
 		if _, err := Read(strings.NewReader(c)); err == nil {

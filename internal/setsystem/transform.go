@@ -1,6 +1,6 @@
 package setsystem
 
-import "sort"
+import "slices"
 
 // Project returns the instance induced on a sub-universe: elements is a
 // sorted, duplicate-free subset of [0, N); element elements[i] becomes i in
@@ -8,42 +8,48 @@ import "sort"
 // sub-universe (empty projections are kept so set indices line up). This is
 // the "element sampling" view at the heart of Algorithm 1 and Lemma 3.12.
 func Project(in *Instance, elements []int) *Instance {
-	remap := make(map[int]int, len(elements))
+	remap := make(map[int32]int32, len(elements))
 	for i, e := range elements {
 		if e < 0 || e >= in.N {
 			panic("setsystem: Project element out of range")
 		}
-		if _, dup := remap[e]; dup {
+		if _, dup := remap[int32(e)]; dup {
 			panic("setsystem: Project elements must be unique")
 		}
-		remap[e] = i
+		remap[int32(e)] = int32(i)
 	}
-	out := &Instance{N: len(elements), Sets: make([][]int, len(in.Sets))}
-	for si, s := range in.Sets {
-		var proj []int
-		for _, e := range s {
+	b := NewBuilder(len(elements))
+	b.Grow(in.M(), len(elements))
+	for si := 0; si < in.M(); si++ {
+		for _, e := range in.Set(si) {
 			if idx, ok := remap[e]; ok {
-				proj = append(proj, idx)
+				b.Append(idx)
 			}
 		}
-		sort.Ints(proj)
-		out.Sets[si] = proj
+		slices.Sort(b.EndSet())
 	}
-	return out
+	return b.Build()
 }
 
 // Merge concatenates the set collections of several instances over a common
-// universe n; set indices follow the concatenation order. It panics if any
+// universe n; set indices follow the concatenation order. The arenas are
+// copied, so the result shares no storage with the inputs. It panics if any
 // input has a different universe size.
 func Merge(n int, ins ...*Instance) *Instance {
-	out := &Instance{N: n}
+	sets, total := 0, 0
 	for _, in := range ins {
 		if in.N != n {
 			panic("setsystem: Merge universe mismatch")
 		}
-		for _, s := range in.Sets {
-			out.Sets = append(out.Sets, append([]int(nil), s...))
+		sets += in.M()
+		total += in.TotalElems()
+	}
+	b := NewBuilder(n)
+	b.Grow(sets, total)
+	for _, in := range ins {
+		for i := 0; i < in.M(); i++ {
+			b.AddSet32(in.Set(i))
 		}
 	}
-	return out
+	return b.Build()
 }

@@ -8,7 +8,7 @@ import (
 )
 
 func TestProjectBasic(t *testing.T) {
-	in := &Instance{N: 10, Sets: [][]int{{0, 2, 4}, {1, 3}, {}}}
+	in := FromSets(10, [][]int{{0, 2, 4}, {1, 3}, {}})
 	sub := Project(in, []int{2, 3, 4})
 	if sub.N != 3 || sub.M() != 3 {
 		t.Fatalf("projected shape %d/%d", sub.N, sub.M())
@@ -17,19 +17,19 @@ func TestProjectBasic(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Set 0 keeps {2,4} → {0,2}; set 1 keeps {3} → {1}; set 2 empty.
-	if len(sub.Sets[0]) != 2 || sub.Sets[0][0] != 0 || sub.Sets[0][1] != 2 {
-		t.Fatalf("set 0 projected to %v", sub.Sets[0])
+	if s := sub.Set(0); len(s) != 2 || s[0] != 0 || s[1] != 2 {
+		t.Fatalf("set 0 projected to %v", s)
 	}
-	if len(sub.Sets[1]) != 1 || sub.Sets[1][0] != 1 {
-		t.Fatalf("set 1 projected to %v", sub.Sets[1])
+	if s := sub.Set(1); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("set 1 projected to %v", s)
 	}
-	if len(sub.Sets[2]) != 0 {
-		t.Fatalf("set 2 projected to %v", sub.Sets[2])
+	if sub.SetLen(2) != 0 {
+		t.Fatalf("set 2 projected to %v", sub.Set(2))
 	}
 }
 
 func TestProjectPanics(t *testing.T) {
-	in := &Instance{N: 5, Sets: [][]int{{0}}}
+	in := FromSets(5, [][]int{{0}})
 	for _, elems := range [][]int{{7}, {-1}, {1, 1}} {
 		func() {
 			defer func() {
@@ -61,9 +61,9 @@ func TestQuickProjectCoverage(t *testing.T) {
 		// Original coverage restricted to elems.
 		covered := map[int]bool{}
 		for _, si := range pick {
-			for _, e := range in.Sets[si] {
-				if inSub[e] {
-					covered[e] = true
+			for _, e := range in.Set(si) {
+				if inSub[int(e)] {
+					covered[int(e)] = true
 				}
 			}
 		}
@@ -75,16 +75,16 @@ func TestQuickProjectCoverage(t *testing.T) {
 }
 
 func TestMerge(t *testing.T) {
-	a := &Instance{N: 4, Sets: [][]int{{0, 1}}}
-	b := &Instance{N: 4, Sets: [][]int{{2}, {3}}}
+	a := FromSets(4, [][]int{{0, 1}})
+	b := FromSets(4, [][]int{{2}, {3}})
 	merged := Merge(4, a, b)
 	if merged.M() != 3 || !merged.IsCover([]int{0, 1, 2}) {
 		t.Fatalf("merged = %+v", merged)
 	}
-	// Deep copy: mutating the merge must not touch the inputs.
-	merged.Sets[0][0] = 3
-	if a.Sets[0][0] != 0 {
-		t.Fatal("Merge aliased input slices")
+	// Deep copy: mutating the merged arena must not touch the inputs.
+	merged.Set(0)[0] = 3
+	if a.Set(0)[0] != 0 {
+		t.Fatal("Merge aliased input storage")
 	}
 	defer func() {
 		if recover() == nil {

@@ -6,6 +6,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"streamcover/internal/setsystem"
 )
 
 // FileStream streams a set cover instance from a text-format file (the
@@ -62,7 +64,8 @@ func readHeader(sc *bufio.Scanner) (n, m int, err error) {
 		}
 		n, err1 := strconv.Atoi(fields[1])
 		m, err2 := strconv.Atoi(fields[2])
-		if err1 != nil || err2 != nil || n < 0 || m < 0 {
+		if err1 != nil || err2 != nil || n < 0 || m < 0 ||
+			n > setsystem.MaxElement || m > setsystem.MaxElement {
 			return 0, 0, fmt.Errorf("bad header values in %q", line)
 		}
 		return n, m, nil
@@ -116,14 +119,14 @@ func (fs *FileStream) Next() (Item, bool) {
 			fs.err = fmt.Errorf("stream: %s: bad set id %q", fs.path, fields[0])
 			return Item{}, false
 		}
-		elems := make([]int, 0, len(fields)-1)
+		elems := make([]int32, 0, len(fields)-1)
 		for _, fstr := range fields[1:] {
 			e, err := strconv.Atoi(fstr)
 			if err != nil || e < 0 || e >= fs.n {
 				fs.err = fmt.Errorf("stream: %s: bad element %q in set %d", fs.path, fstr, id)
 				return Item{}, false
 			}
-			elems = append(elems, e)
+			elems = append(elems, int32(e))
 		}
 		fs.seen++
 		return Item{ID: id, Elems: elems}, true

@@ -45,7 +45,7 @@ func TestFileStreamMatchesInstanceStream(t *testing.T) {
 			if !ok {
 				break
 			}
-			want := in.Sets[item.ID]
+			want := in.Set(item.ID)
 			if len(item.Elems) != len(want) {
 				t.Fatalf("pass %d set %d: %v != %v", pass, item.ID, item.Elems, want)
 			}

@@ -6,10 +6,16 @@
 // passes over the stream but must keep its working memory sublinear in the
 // input size m·n. This package defines:
 //
-//   - Stream: a resettable, one-at-a-time source of sets;
+//   - Stream: a resettable, one-at-a-time source of sets, yielding
+//     zero-copy []int32 views (into the instance's CSR arena, or a file
+//     stream's decode buffer);
 //   - PassAlgorithm: the state-machine shape of a multi-pass algorithm;
 //   - Driver: runs a PassAlgorithm over a Stream while accounting for the
-//     number of passes and the peak working space in words;
+//     number of passes and the peak working space in words; drivers check
+//     Failer after every pass so file-backed streams fail loudly;
+//   - file-backed streams for both on-disk codecs (FileStream for text,
+//     BinaryFileStream for binary; Open auto-detects), re-reading the file
+//     every pass so larger-than-memory instances stream honestly;
 //   - arrival orders: adversarial (as given), a fixed random permutation
 //     (the paper's random arrival model), or a fresh shuffle every pass.
 //
@@ -27,12 +33,13 @@ import (
 	"streamcover/internal/setsystem"
 )
 
-// Item is one stream element: a set and its identifier.
-// Elems is owned by the stream and must not be retained or mutated by
+// Item is one stream element: a set and its identifier. Elems is a
+// zero-copy view into the stream's storage (the instance's CSR arena, or a
+// file stream's read buffer) and must not be retained or mutated by
 // algorithms; copy what you keep (the copy is what you pay space for).
 type Item struct {
 	ID    int
-	Elems []int
+	Elems []int32
 }
 
 // Stream is a resettable source of set items. Universe and Len are the
@@ -117,14 +124,15 @@ func (s *InstanceStream) Reset() {
 	s.pos = 0
 }
 
-// Next returns the next set of the current pass.
+// Next returns the next set of the current pass as a zero-copy view into
+// the instance's arena.
 func (s *InstanceStream) Next() (Item, bool) {
 	if s.pos >= len(s.perm) {
 		return Item{}, false
 	}
 	id := s.perm[s.pos]
 	s.pos++
-	return Item{ID: id, Elems: s.inst.Sets[id]}, true
+	return Item{ID: id, Elems: s.inst.Set(id)}, true
 }
 
 // StableItems reports that returned Item.Elems alias the instance's set
@@ -158,9 +166,30 @@ func (e ErrPassLimit) Error() string {
 	return fmt.Sprintf("stream: algorithm did not finish within %d passes", e.Limit)
 }
 
+// Failer is implemented by streams that can fail mid-pass (file-backed
+// streams: truncated files, corrupt payloads). For such streams Next
+// returning ok=false is ambiguous — end of pass or error — so drivers must
+// consult Err after each pass and abort the run on a non-nil result.
+// In-memory streams need not implement it.
+type Failer interface {
+	// Err returns the first error encountered while streaming, or nil.
+	Err() error
+}
+
+// PassErr returns the stream's error if it is a Failer, else nil. Drivers
+// (Run here, parallel.Run) call it after every pass so a mid-pass stream
+// failure aborts the run instead of masquerading as a clean short pass.
+func PassErr(s Stream) error {
+	if f, ok := s.(Failer); ok {
+		return f.Err()
+	}
+	return nil
+}
+
 // Run drives alg over s until it reports done, recording passes and peak
 // space. maxPasses bounds the run (use a generous limit; it exists to turn
-// non-terminating bugs into errors).
+// non-terminating bugs into errors). A stream failure (Failer reporting a
+// non-nil Err after a pass) aborts the run with that error.
 func Run(s Stream, alg PassAlgorithm, maxPasses int) (Accounting, error) {
 	var acc Accounting
 	for pass := 0; pass < maxPasses; pass++ {
@@ -179,6 +208,10 @@ func Run(s Stream, alg PassAlgorithm, maxPasses int) (Accounting, error) {
 			if sp := alg.Space(); sp > acc.PeakSpace {
 				acc.PeakSpace = sp
 			}
+		}
+		if err := PassErr(s); err != nil {
+			acc.Passes = pass + 1
+			return acc, err
 		}
 		done := alg.EndPass()
 		if sp := alg.Space(); sp > acc.PeakSpace {

@@ -14,7 +14,7 @@ func testInstance(m int) *setsystem.Instance {
 	for i := range sets {
 		sets[i] = []int{i % 7}
 	}
-	return &setsystem.Instance{N: 7, Sets: sets}
+	return setsystem.FromSets(7, sets)
 }
 
 // collectIDs runs one pass and returns the IDs in arrival order.

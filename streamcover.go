@@ -58,9 +58,23 @@ import (
 )
 
 // Instance is a set cover / maximum coverage instance: m subsets of the
-// universe [0, N). Sets must be sorted and duplicate-free (call Normalize
-// after manual construction).
+// universe [0, N), stored in a flat CSR arena (one []int32 element array
+// plus offsets — see internal/setsystem's package docs for the layout).
+// Construct with NewInstance or an InstanceBuilder; read sets through
+// inst.Set(i), which returns a zero-copy view. Sets must be sorted and
+// duplicate-free (call Normalize after assembling from unnormalized data).
 type Instance = setsystem.Instance
+
+// InstanceBuilder assembles an Instance set by set into a single arena.
+type InstanceBuilder = setsystem.Builder
+
+// NewInstance builds an instance over [0, n) from explicit sets, copying
+// the elements into a fresh arena.
+func NewInstance(n int, sets [][]int) *Instance { return setsystem.FromSets(n, sets) }
+
+// NewInstanceBuilder returns a builder for incremental instance assembly
+// over the universe [0, n).
+func NewInstanceBuilder(n int) *InstanceBuilder { return setsystem.NewBuilder(n) }
 
 // Order selects the stream arrival order.
 type Order = stream.Order
@@ -267,12 +281,21 @@ func GenerateClustered(seed uint64, n, m, clusters, setSize int) *Instance {
 	return setsystem.Clustered(rng.New(seed), n, m, clusters, setSize, 0.1)
 }
 
-// ReadInstance decodes an instance from the text format ("setcover n m"
-// header, then one "id e1 e2 ..." line per set).
-func ReadInstance(r io.Reader) (*Instance, error) { return setsystem.Read(r) }
+// ReadInstance decodes an instance from either on-disk codec, sniffing the
+// binary magic bytes: the text format ("setcover n m" header, then one
+// "id e1 e2 ..." line per set) or the binary format (magic + header +
+// per-set lengths + varint-delta element payload).
+func ReadInstance(r io.Reader) (*Instance, error) { return setsystem.ReadAuto(r) }
 
 // WriteInstance encodes an instance in the text format.
 func WriteInstance(w io.Writer, inst *Instance) error { return setsystem.Write(w, inst) }
+
+// WriteInstanceBinary encodes an instance in the compact binary format
+// (delta-varint element payload, typically several times smaller than the
+// text format and decodable with no per-set allocations). The instance
+// must be normalized. Multi-pass streaming consumers should prefer this
+// format: cmd/covercli streams either format straight from disk.
+func WriteInstanceBinary(w io.Writer, inst *Instance) error { return setsystem.WriteBinary(w, inst) }
 
 // Stats summarizes an instance.
 type Stats = setsystem.Stats

@@ -29,7 +29,7 @@ func TestSolveSetCoverQuickstart(t *testing.T) {
 }
 
 func TestSolveSetCoverInfeasible(t *testing.T) {
-	inst := &Instance{N: 6, Sets: [][]int{{0, 1}, {2}}}
+	inst := NewInstance(6, [][]int{{0, 1}, {2}})
 	if _, err := SolveSetCover(inst); err != ErrInfeasible {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
@@ -113,7 +113,7 @@ func TestRoundTripAndStats(t *testing.T) {
 }
 
 func TestNormalize(t *testing.T) {
-	inst := &Instance{N: 10, Sets: [][]int{{5, 2, 2}}}
+	inst := NewInstance(10, [][]int{{5, 2, 2}})
 	Normalize(inst)
 	if err := Validate(inst); err != nil {
 		t.Fatal(err)
