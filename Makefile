@@ -4,11 +4,18 @@
 GO ?= go
 
 # Benchmarks whose B/op and allocs/op we track across PRs: the end-to-end
-# solvers plus the codec/stream data plane.
-BENCH_PATTERN ?= BenchmarkSolve|BenchmarkGreedySetCover|BenchmarkCodec|BenchmarkStream
-BENCH_JSON ?= BENCH_csr.json
+# solvers, the codec/stream data plane, and the word-parallel observe-plane
+# kernels (run-based Observe, sieve grid, exact sub-solve).
+BENCH_PATTERN ?= BenchmarkSolve|BenchmarkGreedySetCover|BenchmarkCodec|BenchmarkStream|BenchmarkObserveRuns|BenchmarkSieveGrid|BenchmarkExactSubsolve
+# Packages holding tracked benchmarks (the root API plus the internal hot
+# paths the observe-plane benchmarks live next to).
+BENCH_PKGS ?= . ./internal/core ./internal/maxcover ./internal/offline
+BENCH_JSON ?= BENCH_masks.json
+# The committed baseline the bench-compare target diffs against (recorded
+# by the CSR data-plane PR, before the word-parallel observe plane).
+BENCH_BASELINE ?= BENCH_csr.json
 
-.PHONY: all fmt fmt-check vet build test bench bench-json ci
+.PHONY: all fmt fmt-check vet build test bench bench-json bench-compare ci
 
 all: build
 
@@ -40,8 +47,13 @@ bench:
 ## bench-json: solver + data-plane benchmarks with allocation stats,
 ## recorded as a go-test JSON event stream for cross-PR tracking
 bench-json:
-	$(GO) test -json -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . > $(BENCH_JSON)
+	$(GO) test -json -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) > $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
 
+## bench-compare: diff the fresh recording against the committed baseline
+## (informational; never fails on a regression)
+bench-compare: bench-json
+	$(GO) run ./cmd/benchcmp $(BENCH_BASELINE) $(BENCH_JSON) | tee bench-delta.txt
+
 ## ci: the full CI sequence, locally
-ci: fmt-check vet build test bench bench-json
+ci: fmt-check vet build test bench bench-json bench-compare

@@ -1,0 +1,115 @@
+// Command benchcmp compares two benchmark recordings produced by
+// `make bench-json` (go test -json event streams) and prints the per-
+// benchmark ns/op delta — the dependency-free stand-in for benchstat that
+// the CI bench-compare step and local workflows use to track the
+// performance trajectory against a committed baseline:
+//
+//	go run ./cmd/benchcmp BENCH_csr.json BENCH_masks.json
+//
+// Output is one row per benchmark present in either file, with the
+// old/new ratio (>1 means the new recording is faster). The comparison is
+// informational: the exit status is non-zero only for unreadable input,
+// never for regressions, so it can run as a non-blocking CI step.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the go test -json event schema benchcmp needs.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches a gotest benchmark result line. The benchmark name and
+// its numbers can arrive in separate output events, so matching happens on
+// the reassembled text, line by line. The -<P> GOMAXPROCS suffix is folded
+// away so recordings from machines with different core counts compare.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// load reassembles the output text of a go test -json stream and extracts
+// benchmark name → ns/op. A later duplicate overwrites an earlier one (go
+// test repeats a benchmark only when rerun; the last run is the one that
+// counts).
+func load(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%s: not a go test -json stream: %w", path, err)
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, m := range benchLine.FindAllStringSubmatch(text.String(), -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = ns
+	}
+	return out, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: benchcmp <old.json> <new.json>\n")
+		os.Exit(2)
+	}
+	old, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	now, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	names := map[string]bool{}
+	for n := range old {
+		names[n] = true
+	}
+	for n := range now {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	fmt.Printf("%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "old/new")
+	for _, n := range sorted {
+		o, hasOld := old[n]
+		v, hasNew := now[n]
+		switch {
+		case hasOld && hasNew:
+			fmt.Printf("%-52s %14.0f %14.0f %8.2fx\n", n, o, v, o/v)
+		case hasOld:
+			fmt.Printf("%-52s %14.0f %14s %9s\n", n, o, "-", "gone")
+		default:
+			fmt.Printf("%-52s %14s %14.0f %9s\n", n, "-", v, "new")
+		}
+	}
+}

@@ -74,23 +74,34 @@ func (g *ProgressiveGreedy) BeginPass(pass int) {
 	}
 }
 
-// Observe implements stream.PassAlgorithm.
+// Observe implements stream.PassAlgorithm: when a grid driver attached the
+// item's shared run list, probing costs one AND+popcount per occupied word;
+// an unshared item keeps the scalar loop (building runs for one consumer
+// costs more than one probe loop).
 func (g *ProgressiveGreedy) Observe(item stream.Item) {
 	if g.done || g.uCount == 0 {
 		return
 	}
 	cnt := 0
-	for _, e := range item.Elems {
-		if g.u.Has(int(e)) {
-			cnt++
+	if item.Runs != nil {
+		cnt = g.u.AndCountRuns(item.Runs)
+	} else {
+		for _, e := range item.Elems {
+			if g.u.Has(int(e)) {
+				cnt++
+			}
 		}
 	}
 	if cnt > 0 && float64(cnt) >= g.threshold {
 		g.sol = append(g.sol, item.ID)
-		for _, e := range item.Elems {
-			if g.u.Has(int(e)) {
-				g.u.Clear(int(e))
-				g.uCount--
+		if item.Runs != nil {
+			g.uCount -= g.u.AndNotRuns(item.Runs)
+		} else {
+			for _, e := range item.Elems {
+				if g.u.Has(int(e)) {
+					g.u.Clear(int(e))
+					g.uCount--
+				}
 			}
 		}
 	}

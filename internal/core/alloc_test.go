@@ -46,6 +46,28 @@ func TestObserveSubtractAllocFree(t *testing.T) {
 	}
 }
 
+// TestObserveAllocFreeWithSharedRuns covers the producer-amortized path:
+// when the driver prefilled item.Runs (parallel.runPass, stream.Parallel),
+// Observe must not even build runs — every phase is allocation-free from
+// the first item.
+func TestObserveAllocFreeWithSharedRuns(t *testing.T) {
+	const n = 1000
+	a := NewRun(n, 64, 1, Config{Alpha: 2, Epsilon: 0.5}, rng.New(1))
+	a.BeginPass(0) // prune phase
+	elems := []int32{1, 5, 9, 400, 999}
+	item := stream.Item{ID: 7, Elems: elems, Runs: bitset.AppendRuns(nil, elems)}
+	allocs := testing.AllocsPerRun(500, func() { a.Observe(item) })
+	if allocs > 0 {
+		t.Fatalf("prune-phase Observe with shared runs allocates %.2f objects/item", allocs)
+	}
+	a.phase = phaseSubtract
+	a.chosen[7] = true
+	allocs = testing.AllocsPerRun(500, func() { a.Observe(item) })
+	if allocs > 0 {
+		t.Fatalf("subtract-phase Observe with shared runs allocates %.2f objects/item", allocs)
+	}
+}
+
 func TestObserveStoreSteadyStateAllocFree(t *testing.T) {
 	const n = 1000
 	a := NewRun(n, 64, 1, Config{Alpha: 2, Epsilon: 0.5}, rng.New(1))

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"streamcover/internal/bitset"
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+	"streamcover/internal/stream"
+)
+
+// BenchmarkObserveRuns measures the prune-phase Observe hot loop — the
+// per-item cost every guess of the grid pays on every pass. The threshold
+// n/(ε·õpt) is far above the set sizes, so every item is counted against
+// the uncovered bitset and none is taken: the steady-state probe workload.
+//
+// "shared" items carry the producer-built word-mask run list, exactly what
+// both grid drivers attach (the cost of building it is paid once per item
+// per pass and amortized over all ~20 guesses, so it is deliberately
+// outside this loop); "scalar" items have no run list and take the
+// element-at-a-time fallback a lone Run driven by stream.Run uses.
+func BenchmarkObserveRuns(b *testing.B) {
+	inst := setsystem.Uniform(rng.New(1), 1<<14, 512, 256, 768)
+	items := make([]stream.Item, inst.M())
+	var runArena []bitset.Run
+	for j := range items {
+		elems := inst.Set(j)
+		start := len(runArena)
+		runArena = bitset.AppendRuns(runArena, elems)
+		items[j] = stream.Item{ID: j, Elems: elems, Runs: runArena[start:len(runArena):len(runArena)]}
+	}
+	for _, mode := range []string{"shared", "scalar"} {
+		b.Run(mode, func(b *testing.B) {
+			a := NewRun(inst.N, inst.M(), 8, Config{Alpha: 2, Epsilon: 0.5}, rng.New(2))
+			a.BeginPass(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, item := range items {
+					if mode == "scalar" {
+						item.Runs = nil
+					}
+					a.Observe(item)
+				}
+			}
+		})
+	}
+}

@@ -268,33 +268,44 @@ func (a *Run) beginStorePass() {
 }
 
 // Observe implements stream.PassAlgorithm. This is the per-item hot path:
-// it iterates the item's arena view directly and allocates nothing in the
-// prune and subtract phases (the store phase appends to the flat projection
-// arena, amortized allocation-free once the arena has grown).
+// when the driver attached the item's shared word-mask run list (both grid
+// drivers do, once per item per pass), every phase probes it against the
+// uncovered/sample bitsets — one AND+popcount per occupied word instead of
+// one branchy probe per element. Items without runs (a lone Run driven
+// directly by stream.Run) keep the scalar loops: building a run list for a
+// single consumer costs more than one probe loop, so the word-parallel
+// path is taken exactly when the build is amortized. Both paths compute
+// identical results (the bitset property tests and the scalar-golden parity
+// tests pin this) and allocate nothing in the prune and subtract phases
+// (the store phase appends to the flat projection arena, amortized
+// allocation-free once the arena has grown).
 func (a *Run) Observe(item stream.Item) {
 	switch a.phase {
 	case phasePrune:
 		cnt := 0
-		for _, e := range item.Elems {
-			if a.u.Has(int(e)) {
-				cnt++
+		if item.Runs != nil {
+			cnt = a.u.AndCountRuns(item.Runs)
+		} else {
+			for _, e := range item.Elems {
+				if a.u.Has(int(e)) {
+					cnt++
+				}
 			}
 		}
 		if cnt > 0 && float64(cnt) >= a.pruneThreshold() {
 			a.takeSet(item.ID)
 			a.prunePicked++
-			for _, e := range item.Elems {
-				if a.u.Has(int(e)) {
-					a.u.Clear(int(e))
-					a.uCount--
-				}
-			}
+			a.subtract(item)
 		}
 	case phaseStore:
 		start := len(a.projElems)
-		for _, e := range item.Elems {
-			if a.usmpl.Has(int(e)) {
-				a.projElems = append(a.projElems, e)
+		if item.Runs != nil {
+			a.projElems = a.usmpl.AndRunsAppend(a.projElems, item.Runs)
+		} else {
+			for _, e := range item.Elems {
+				if a.usmpl.Has(int(e)) {
+					a.projElems = append(a.projElems, e)
+				}
 			}
 		}
 		if len(a.projElems) > start {
@@ -303,12 +314,23 @@ func (a *Run) Observe(item stream.Item) {
 		}
 	case phaseSubtract:
 		if a.chosen[item.ID] {
-			for _, e := range item.Elems {
-				if a.u.Has(int(e)) {
-					a.u.Clear(int(e))
-					a.uCount--
-				}
-			}
+			a.subtract(item)
+		}
+	}
+}
+
+// subtract removes the item's elements from the uncovered set, keeping
+// uCount in sync via the kernel's popcount delta (or the scalar loop when
+// the item carries no shared run list).
+func (a *Run) subtract(item stream.Item) {
+	if item.Runs != nil {
+		a.uCount -= a.u.AndNotRuns(item.Runs)
+		return
+	}
+	for _, e := range item.Elems {
+		if a.u.Has(int(e)) {
+			a.u.Clear(int(e))
+			a.uCount--
 		}
 	}
 }

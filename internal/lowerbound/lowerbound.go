@@ -21,6 +21,7 @@ package lowerbound
 import (
 	"sort"
 
+	"streamcover/internal/bitset"
 	"streamcover/internal/rng"
 	"streamcover/internal/stream"
 )
@@ -30,6 +31,19 @@ import (
 func contains(s []int32, v int) bool {
 	i := sort.Search(len(s), func(i int) bool { return int(s[i]) >= v })
 	return i < len(s) && int(s[i]) == v
+}
+
+// itemHas reports whether the item contains element e. When a driver
+// prefilled the item's word-mask run list (the parallel and lockstep
+// drivers both do), membership is a binary search over the much shorter
+// run list; otherwise it falls back to binary search over the elements —
+// building runs just for a handful of membership probes would cost more
+// than it saves.
+func itemHas(item stream.Item, e int) bool {
+	if item.Runs != nil {
+		return bitset.RunsHave(item.Runs, e)
+	}
+	return contains(item.Elems, e)
 }
 
 // SCConfig configures the set cover θ-distinguisher.
@@ -128,7 +142,7 @@ func (d *SCDistinguisher) Observe(item stream.Item) {
 		// are also missing from this side — collisions witness f(A∩B) ≠ ∅.
 		hits := 0
 		for _, e := range samp {
-			if !contains(item.Elems, e) {
+			if !itemHas(item, e) {
 				hits++
 			}
 		}
@@ -269,11 +283,12 @@ func (d *MCDistinguisher) Observe(item stream.Item) {
 	if d.checked[pair] || !d.handles(pair) {
 		return
 	}
-	u1 := d.u1Prefix(item.Elems)
 	if samp, seen := d.samples[pair]; seen {
+		// Retained samples are all inside U1, and sets are sorted, so
+		// membership in the full set equals membership in its U1 prefix.
 		hits := 0
 		for _, e := range samp {
-			if contains(u1, e) {
+			if itemHas(item, e) {
 				hits++
 			}
 		}
@@ -287,6 +302,7 @@ func (d *MCDistinguisher) Observe(item stream.Item) {
 		d.checked[pair] = true
 		return
 	}
+	u1 := d.u1Prefix(item.Elems)
 	want := d.perPair
 	if want > len(u1) {
 		want = len(u1)

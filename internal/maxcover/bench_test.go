@@ -1,0 +1,26 @@
+package maxcover
+
+import (
+	"testing"
+
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+	"streamcover/internal/stream"
+)
+
+// BenchmarkSieveGrid measures one full sieve pass: every item is probed
+// against the covered bitset of every guess in the geometric OPT grid
+// (~30 guesses at ε=0.1) — the many-consumers-per-item workload the
+// shared per-item mask runs exist for.
+func BenchmarkSieveGrid(b *testing.B) {
+	inst := setsystem.Uniform(rng.New(3), 1<<13, 1024, 128, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv := NewSieve(inst.N, 8, 0.1)
+		st := stream.FromInstance(inst, stream.Adversarial, nil)
+		if _, err := stream.Run(st, sv, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

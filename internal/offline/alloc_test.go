@@ -1,0 +1,41 @@
+package offline
+
+import (
+	"testing"
+
+	"streamcover/internal/bitset"
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+)
+
+// TestSearcherDFSSteadyStateAllocFree guards the exact search's allocation
+// discipline: after one warm-up search has grown the per-depth scratch pool
+// and the best/stack buffers, repeated searches on the same searcher must
+// not allocate at all — the per-node bitset Clone of the old implementation
+// is exactly the churn Algorithm 1's step-3(c) sub-solves (one per
+// iteration per guess, concurrently under the parallel grid) cannot afford.
+func TestSearcherDFSSteadyStateAllocFree(t *testing.T) {
+	inst := setsystem.Uniform(rng.New(9), 64, 48, 6, 14)
+	s := newSearcher(inst, defaultNodeBudget)
+	full := bitset.New(inst.N)
+	full.Fill()
+	u := bitset.New(inst.N)
+
+	run := func() {
+		s.nodes = 0
+		u.CopyFrom(full)
+		found, err := s.search(u, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatal("expected a cover of size <= 10")
+		}
+	}
+	run() // warm-up: grows the scratch pool to the search depth
+
+	allocs := testing.AllocsPerRun(20, run)
+	if allocs > 0 {
+		t.Fatalf("steady-state dfs allocates %.2f objects per search", allocs)
+	}
+}

@@ -1,0 +1,27 @@
+package offline
+
+import (
+	"testing"
+
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+)
+
+// BenchmarkExactSubsolve measures a branch-and-bound sub-solve where greedy
+// overshoots (greedy finds 11 sets, the optimum is 10), so the dfs actually
+// searches — the Algorithm 1 step-3(c) workload that runs once per
+// iteration per guess under the parallel grid.
+func BenchmarkExactSubsolve(b *testing.B) {
+	inst := setsystem.Uniform(rng.New(9), 64, 48, 6, 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cover, ok, err := CoverAtMost(inst, 10, ExactConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok || len(cover) > 10 {
+			b.Fatalf("expected a cover of size <= 10, got %v ok=%v", cover, ok)
+		}
+	}
+}

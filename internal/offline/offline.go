@@ -137,7 +137,7 @@ func CoverAtMost(in *setsystem.Instance, k int, cfg ExactConfig) (cover []int, o
 	if uncovered.Empty() {
 		return nil, true, nil
 	}
-	found, err := s.dfs(uncovered, k)
+	found, err := s.search(uncovered, k)
 	if err != nil {
 		return nil, false, err
 	}
@@ -228,38 +228,83 @@ func lowerBound(in *setsystem.Instance) int {
 }
 
 type searcher struct {
-	in      *setsystem.Instance
-	sets    []*bitset.Bitset
-	occ     [][]int // occ[e] = indices of sets containing e
-	maxSize int     // largest |S_i|
+	in   *setsystem.Instance
+	sets []*bitset.Bitset
+	// Element→sets occurrence index in CSR form: the candidate sets for
+	// element e are occSets[occOffs[e]:occOffs[e+1]]. Built by two counting
+	// passes over the instance arena — two flat arrays instead of in.N
+	// independently append-grown slices.
+	occOffs []int32 // len N+1
+	occSets []int32
+	maxSize int // largest |S_i|
 	budget  int64
 	nodes   int64
 	best    []int
 	stack   []int
+	// scratch is the per-depth uncovered-bitset pool: dfs at depth d writes
+	// its child's uncovered set into scratch[d] instead of cloning one
+	// bitset per node. Frame d's input (scratch[d-1]) is only rewritten by
+	// its parent between sibling branches, never below it, so the borrow is
+	// safe; the pool grows to the search depth once and is reused for every
+	// node after that — steady-state dfs allocates nothing.
+	scratch []*bitset.Bitset
 }
 
 func newSearcher(in *setsystem.Instance, budget int64) *searcher {
 	s := &searcher{in: in, sets: in.Bitsets(), budget: budget}
-	s.occ = make([][]int, in.N)
+	s.occOffs = make([]int32, in.N+1)
 	for i := 0; i < in.M(); i++ {
 		set := in.Set(i)
 		if len(set) > s.maxSize {
 			s.maxSize = len(set)
 		}
 		for _, e := range set {
-			s.occ[e] = append(s.occ[e], i)
+			s.occOffs[e+1]++
+		}
+	}
+	for e := 0; e < in.N; e++ {
+		s.occOffs[e+1] += s.occOffs[e]
+	}
+	s.occSets = make([]int32, s.occOffs[in.N])
+	cursor := make([]int32, in.N)
+	copy(cursor, s.occOffs[:in.N])
+	for i := 0; i < in.M(); i++ {
+		for _, e := range in.Set(i) {
+			s.occSets[cursor[e]] = int32(i)
+			cursor[e]++
 		}
 	}
 	return s
 }
 
-// dfs searches for a cover of `uncovered` using at most k more sets.
-func (s *searcher) dfs(uncovered *bitset.Bitset, k int) (bool, error) {
+// occ returns the candidate-set list for element e (ascending set indices,
+// as the fill order guarantees).
+func (s *searcher) occ(e int) []int32 {
+	return s.occSets[s.occOffs[e]:s.occOffs[e+1]]
+}
+
+// scratchAt returns the depth-d uncovered scratch bitset, growing the pool
+// on first descent to that depth.
+func (s *searcher) scratchAt(depth int) *bitset.Bitset {
+	for len(s.scratch) <= depth {
+		s.scratch = append(s.scratch, bitset.New(s.in.N))
+	}
+	return s.scratch[depth]
+}
+
+// search looks for a cover of `uncovered` using at most k sets.
+func (s *searcher) search(uncovered *bitset.Bitset, k int) (bool, error) {
+	return s.dfs(uncovered, uncovered.Count(), k, 0)
+}
+
+// dfs searches for a cover of `uncovered` (of size rem, tracked by
+// popcount deltas rather than recounted per node) using at most k more
+// sets, with depth indexing the scratch pool.
+func (s *searcher) dfs(uncovered *bitset.Bitset, rem, k, depth int) (bool, error) {
 	s.nodes++
 	if s.nodes > s.budget {
 		return false, ErrBudget
 	}
-	rem := uncovered.Count()
 	if rem == 0 {
 		s.best = append(s.best[:0], s.stack...)
 		return true, nil
@@ -271,27 +316,32 @@ func (s *searcher) dfs(uncovered *bitset.Bitset, k int) (bool, error) {
 	if rem > k*s.maxSize {
 		return false, nil
 	}
-	// Branch on the uncovered element with the fewest candidate sets.
+	// Branch on the uncovered element with the fewest candidate sets
+	// (explicit Next loop, not Range: a closure here would allocate on
+	// every node).
 	pivot, minCands := -1, int(^uint(0)>>1)
-	uncovered.Range(func(e int) bool {
-		c := len(s.occ[e])
+	for e := uncovered.Next(0); e >= 0; e = uncovered.Next(e + 1) {
+		c := int(s.occOffs[e+1] - s.occOffs[e])
 		if c < minCands {
 			minCands, pivot = c, e
 		}
-		return c > 1 // stop early at a forced (or impossible) element
-	})
+		if c <= 1 { // stop early at a forced (or impossible) element
+			break
+		}
+	}
 	if pivot < 0 || minCands == 0 {
 		return false, nil // some element is in no set
 	}
-	for _, i := range s.occ[pivot] {
+	next := s.scratchAt(depth)
+	for _, i := range s.occ(pivot) {
 		gained := s.sets[i].AndCount(uncovered)
 		if gained == 0 {
 			continue
 		}
-		next := uncovered.Clone()
+		next.CopyFrom(uncovered)
 		next.AndNot(s.sets[i])
-		s.stack = append(s.stack, i)
-		found, err := s.dfs(next, k-1)
+		s.stack = append(s.stack, int(i))
+		found, err := s.dfs(next, rem-gained, k-1, depth+1)
 		s.stack = s.stack[:len(s.stack)-1]
 		if err != nil {
 			return false, err

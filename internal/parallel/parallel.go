@@ -6,9 +6,13 @@
 // slice of stream.PassAlgorithm children over a stream concurrently: the
 // stream is still read exactly once per pass (by the producer goroutine) and
 // its items are fanned out read-only, in chunks, to a pool of workers, each
-// of which owns a static partition of the children. Per-guess offline
-// sub-solves (Algorithm 1 step 3(c)) happen inside EndPass and therefore run
-// concurrently across guesses too.
+// of which owns a static partition of the children. The producer also
+// attaches each item's word-mask run list (bitset.Run, built once per item
+// per pass into a chunk-owned arena) so every guess on every worker probes
+// the same read-only runs instead of rebuilding them, and copies unstable
+// items' elements into a chunk-owned arena rather than allocating per item.
+// Per-guess offline sub-solves (Algorithm 1 step 3(c)) happen inside EndPass
+// and therefore run concurrently across guesses too.
 //
 // # Determinism contract
 //
@@ -40,6 +44,7 @@ import (
 	"runtime"
 	"sync"
 
+	"streamcover/internal/bitset"
 	"streamcover/internal/stream"
 )
 
@@ -214,6 +219,22 @@ func runPass(s stream.Stream, children []stream.PassAlgorithm, active []int,
 	}
 	items := 0
 	batch := make([]stream.Item, 0, chunkSize)
+	// Chunk-owned arenas: unstable items are copied into elemArena (one
+	// amortized allocation per chunk instead of one per item) and every
+	// item's word-mask run list is built once here, into runArena, so all
+	// guesses on all workers share one read-only run list per item. Both
+	// arenas are handed off with the batch and replaced after each flush;
+	// views stay valid even if a later append within the chunk reallocates,
+	// because the copied-out prefix keeps its old backing array. Building a
+	// run list costs about one scalar probe loop and pays from the second
+	// consumer onward, so with a single active child (late passes after the
+	// other guesses finished) the consumer's scalar fallback is cheaper and
+	// the build is skipped.
+	buildRuns := len(active) > 1
+	var (
+		elemArena []int32
+		runArena  []bitset.Run
+	)
 	flush := func() {
 		if len(batch) == 0 {
 			return
@@ -222,6 +243,8 @@ func runPass(s stream.Stream, children []stream.PassAlgorithm, active []int,
 			ch <- batch
 		}
 		batch = make([]stream.Item, 0, chunkSize)
+		elemArena = make([]int32, 0, len(elemArena))
+		runArena = make([]bitset.Run, 0, len(runArena))
 	}
 	for {
 		item, ok := s.Next()
@@ -229,7 +252,14 @@ func runPass(s stream.Stream, children []stream.PassAlgorithm, active []int,
 			break
 		}
 		if !stable {
-			item.Elems = append([]int32(nil), item.Elems...)
+			start := len(elemArena)
+			elemArena = append(elemArena, item.Elems...)
+			item.Elems = elemArena[start:len(elemArena):len(elemArena)]
+		}
+		if buildRuns {
+			start := len(runArena)
+			runArena = bitset.AppendRuns(runArena, item.Elems)
+			item.Runs = runArena[start:len(runArena):len(runArena)]
 		}
 		items++
 		batch = append(batch, item)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -128,6 +129,14 @@ func (fs *FileStream) Next() (Item, bool) {
 			}
 			elems = append(elems, int32(e))
 		}
+		// Normalize exactly as the in-memory reader does (ReadInstance runs
+		// SortSets): the sorted/duplicate-free invariant is what every
+		// consumer — scalar loops and word-mask run kernels alike — assumes,
+		// so file-streamed items must match their in-memory twins.
+		if !slices.IsSorted(elems) {
+			slices.Sort(elems)
+		}
+		elems = slices.Compact(elems)
 		fs.seen++
 		return Item{ID: id, Elems: elems}, true
 	}

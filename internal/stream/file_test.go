@@ -152,3 +152,41 @@ func TestFileStreamErrors(t *testing.T) {
 		t.Fatal("missing set not reported")
 	}
 }
+
+// TestFileStreamNormalizesSets pins the sorted/duplicate-free invariant on
+// the streaming path: a text line with unsorted and duplicated elements is
+// legal input (the in-memory reader normalizes it via SortSets), and the
+// stream must yield the same normalized set — every consumer, scalar loop
+// and word-mask run kernel alike, assumes the invariant.
+func TestFileStreamNormalizesSets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "inst.sc")
+	content := "setcover 8 2\n0 3 7 7 2\n1 5\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	fs.Reset()
+	item, ok := fs.Next()
+	if !ok {
+		t.Fatalf("Next failed: %v", fs.Err())
+	}
+	want := []int32{2, 3, 7}
+	if len(item.Elems) != len(want) {
+		t.Fatalf("set 0 = %v, want %v", item.Elems, want)
+	}
+	for i, e := range want {
+		if item.Elems[i] != e {
+			t.Fatalf("set 0 = %v, want %v", item.Elems, want)
+		}
+	}
+	if _, ok := fs.Next(); !ok {
+		t.Fatalf("second set missing: %v", fs.Err())
+	}
+	if _, ok := fs.Next(); ok || fs.Err() != nil {
+		t.Fatalf("expected clean end of pass, err=%v", fs.Err())
+	}
+}

@@ -29,6 +29,7 @@ package stream
 import (
 	"fmt"
 
+	"streamcover/internal/bitset"
 	"streamcover/internal/rng"
 	"streamcover/internal/setsystem"
 )
@@ -40,6 +41,28 @@ import (
 type Item struct {
 	ID    int
 	Elems []int32
+	// Runs is the word-mask run view of Elems — (word, mask) pairs covering
+	// the same elements — consumed by the bitset run kernels. Drivers that
+	// fan one item out to many consumers prefill it once per item per pass
+	// (parallel.runPass on the producer side, Parallel.Observe in the
+	// sequential driver) so every consumer shares one read-only run list;
+	// nil means the consumer builds its own via RunsInto. Like Elems, Runs
+	// must not be retained past Observe or mutated.
+	Runs []bitset.Run
+}
+
+// RunsInto returns the item's word-mask run list. When a producer prefilled
+// Runs, the shared list is returned and scratch passes through untouched;
+// otherwise the runs are built into scratch[:0] and returned as both values
+// (keep the returned scratch across items to stay allocation-free):
+//
+//	runs, a.runScratch = item.RunsInto(a.runScratch)
+func (it Item) RunsInto(scratch []bitset.Run) (runs, newScratch []bitset.Run) {
+	if it.Runs != nil {
+		return it.Runs, scratch
+	}
+	scratch = bitset.AppendRuns(scratch[:0], it.Elems)
+	return scratch, scratch
 }
 
 // Stream is a resettable source of set items. Universe and Len are the
@@ -233,6 +256,13 @@ func Run(s Stream, alg PassAlgorithm, maxPasses int) (Accounting, error) {
 type Parallel struct {
 	children []PassAlgorithm
 	done     []bool
+	active   int // children still running this pass, set by BeginPass
+	// runScratch backs the per-item run list built once in Observe and
+	// shared by every child — the sequential driver's side of the
+	// one-pass-many-consumers amortization (parallel.runPass is the
+	// concurrent side). Reused across items, so steady-state Observe is
+	// allocation-free.
+	runScratch []bitset.Run
 }
 
 // NewParallel returns the parallel composition of the given algorithms.
@@ -242,15 +272,25 @@ func NewParallel(children ...PassAlgorithm) *Parallel {
 
 // BeginPass implements PassAlgorithm.
 func (p *Parallel) BeginPass(pass int) {
+	p.active = 0
 	for i, c := range p.children {
 		if !p.done[i] {
+			p.active++
 			c.BeginPass(pass)
 		}
 	}
 }
 
-// Observe implements PassAlgorithm.
+// Observe implements PassAlgorithm. The item's run list is built once here
+// (when no upstream producer already attached one) so all children share
+// it. With at most one child still running the build cannot amortize —
+// building costs about one scalar probe loop — so the lone child is left
+// to its scalar fallback.
 func (p *Parallel) Observe(item Item) {
+	if item.Runs == nil && p.active > 1 {
+		p.runScratch = bitset.AppendRuns(p.runScratch[:0], item.Elems)
+		item.Runs = p.runScratch
+	}
 	for i, c := range p.children {
 		if !p.done[i] {
 			c.Observe(item)

@@ -1,0 +1,150 @@
+package streamcover
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"streamcover/internal/baselines"
+	"streamcover/internal/maxcover"
+	"streamcover/internal/stream"
+)
+
+// Golden results recorded from the scalar (pre-run-kernel) observe plane at
+// commit "CSR data plane", workers=1. The word-parallel run kernels must
+// reproduce them bit-for-bit — covers, winning guess, pass counts and space
+// accounting — at every worker count: the kernels change how bits are
+// probed, never which bits, and the drivers' run-list sharing must not
+// perturb RNG consumption or accounting.
+var goldenScalar = struct {
+	sc1Cover                      []int
+	sc1Guess, sc1Passes, sc1Space int
+	sc2Cover                      []int
+	sc2Guess, sc2Passes, sc2Space int
+	sieveChosen                   []int
+	sieveCovered, sievePasses     int
+	sieveSpace                    int
+	pgCover                       []int
+	pgFeasible                    bool
+	pgPasses, pgSpace             int
+	exactCover                    []int
+}{
+	sc1Cover: []int{54, 64, 85, 210, 229},
+	sc1Guess: 6, sc1Passes: 3, sc1Space: 339972,
+	sc2Cover: []int{85, 162, 226, 306, 386, 387},
+	sc2Guess: 6, sc2Passes: 3, sc2Space: 402258,
+	sieveChosen:  []int{5, 7, 8, 37},
+	sieveCovered: 270, sievePasses: 1, sieveSpace: 12374,
+	pgCover:    []int{4, 5, 6, 7, 8, 9, 11, 13, 14, 18, 19, 23, 25, 30, 37, 40, 41, 44, 51, 54, 65, 109},
+	pgFeasible: true, pgPasses: 8, pgSpace: 534,
+	exactCover: []int{17, 4, 47, 2, 9, 14, 24, 35, 10, 13},
+}
+
+// parityWorkerCounts is the worker axis of the scalar-parity tests:
+// sequential reference, a fixed small pool, and GOMAXPROCS.
+func parityWorkerCounts() []int {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range counts {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// TestGuessGridMatchesScalarGolden solves the full (1+ε)-geometric guess
+// grid at workers 1/4/GOMAXPROCS and checks each run against the recorded
+// pre-change scalar results: identical covers and identical accounting.
+func TestGuessGridMatchesScalarGolden(t *testing.T) {
+	inst1, _ := GeneratePlanted(1, 2048, 256, 5)
+	inst2, _ := GeneratePlanted(2, 4096, 512, 6)
+	for _, w := range parityWorkerCounts() {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			r1, err := SolveSetCover(inst1, WithAlpha(2), WithSeed(7), WithSampleConstant(2), WithParallelism(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r1.Cover, goldenScalar.sc1Cover) ||
+				r1.Guess != goldenScalar.sc1Guess ||
+				r1.Passes != goldenScalar.sc1Passes ||
+				r1.SpaceWords != goldenScalar.sc1Space {
+				t.Errorf("instance 1 diverged from scalar golden: got %+v, want cover=%v guess=%d passes=%d space=%d",
+					r1, goldenScalar.sc1Cover, goldenScalar.sc1Guess, goldenScalar.sc1Passes, goldenScalar.sc1Space)
+			}
+			r2, err := SolveSetCover(inst2, WithAlpha(3), WithSeed(11), WithSampleConstant(2), WithParallelism(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r2.Cover, goldenScalar.sc2Cover) ||
+				r2.Guess != goldenScalar.sc2Guess ||
+				r2.Passes != goldenScalar.sc2Passes ||
+				r2.SpaceWords != goldenScalar.sc2Space {
+				t.Errorf("instance 2 diverged from scalar golden: got %+v, want cover=%v guess=%d passes=%d space=%d",
+					r2, goldenScalar.sc2Cover, goldenScalar.sc2Guess, goldenScalar.sc2Passes, goldenScalar.sc2Space)
+			}
+		})
+	}
+}
+
+// TestSieveMatchesScalarGolden drives the sieve grid (every guess probing
+// the same item, the run-sharing workload) and checks the scalar golden.
+func TestSieveMatchesScalarGolden(t *testing.T) {
+	inst := GenerateUniform(5, 512, 128, 32, 96)
+	sv := maxcover.NewSieve(inst.N, 4, 0.1)
+	st := stream.FromInstance(inst, stream.Adversarial, nil)
+	acc, err := stream.Run(st, sv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen, covered := sv.Result()
+	if !reflect.DeepEqual(chosen, goldenScalar.sieveChosen) || covered != goldenScalar.sieveCovered ||
+		acc.Passes != goldenScalar.sievePasses || acc.PeakSpace != goldenScalar.sieveSpace {
+		t.Errorf("sieve diverged from scalar golden: chosen=%v covered=%d passes=%d space=%d, want %v/%d/%d/%d",
+			chosen, covered, acc.Passes, acc.PeakSpace,
+			goldenScalar.sieveChosen, goldenScalar.sieveCovered, goldenScalar.sievePasses, goldenScalar.sieveSpace)
+	}
+}
+
+// TestProgressiveGreedyMatchesScalarGolden checks the multi-pass threshold
+// baseline against the scalar golden.
+func TestProgressiveGreedyMatchesScalarGolden(t *testing.T) {
+	inst := GenerateUniform(5, 512, 128, 32, 96)
+	pg := baselines.NewProgressiveGreedy(inst.N, 2)
+	st := stream.FromInstance(inst, stream.Adversarial, nil)
+	acc, err := stream.Run(st, pg, pg.MaxPasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover, feasible := pg.Result()
+	if !reflect.DeepEqual(cover, goldenScalar.pgCover) || feasible != goldenScalar.pgFeasible ||
+		acc.Passes != goldenScalar.pgPasses || acc.PeakSpace != goldenScalar.pgSpace {
+		t.Errorf("progressive greedy diverged from scalar golden: cover=%v feasible=%v passes=%d space=%d",
+			cover, feasible, acc.Passes, acc.PeakSpace)
+	}
+}
+
+// TestExactSearchMatchesScalarGolden checks that the scratch-pool dfs
+// explores the same tree as the clone-per-node scalar search: same optimum
+// cover, in the same discovery order (greedy here needs 11 sets, so the
+// branch-and-bound actually searches).
+func TestExactSearchMatchesScalarGolden(t *testing.T) {
+	inst := GenerateUniform(9, 64, 48, 6, 14)
+	g, err := GreedySetCover(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 11 {
+		t.Fatalf("workload drifted: greedy found %d sets, want 11 (dfs must be exercised)", len(g))
+	}
+	ex, err := ExactSetCover(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ex, goldenScalar.exactCover) {
+		t.Errorf("exact search diverged from scalar golden: got %v want %v", ex, goldenScalar.exactCover)
+	}
+}
