@@ -15,7 +15,7 @@ BENCH_JSON ?= BENCH_masks.json
 # by the CSR data-plane PR, before the word-parallel observe plane).
 BENCH_BASELINE ?= BENCH_csr.json
 
-.PHONY: all fmt fmt-check vet build test bench bench-json bench-compare ci
+.PHONY: all fmt fmt-check vet build test bench bench-json bench-compare serve-smoke ci
 
 all: build
 
@@ -55,5 +55,12 @@ bench-json:
 bench-compare: bench-json
 	$(GO) run ./cmd/benchcmp $(BENCH_BASELINE) $(BENCH_JSON) | tee bench-delta.txt
 
+## serve-smoke: end-to-end coverd check — start the daemon on a random
+## port, upload a hardgen instance, solve remotely, diff against the
+## in-process SolveSetCover output, verify cache/dedup stats and a clean
+## SIGTERM shutdown
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
 ## ci: the full CI sequence, locally
-ci: fmt-check vet build test bench bench-json bench-compare
+ci: fmt-check vet build test bench bench-json bench-compare serve-smoke

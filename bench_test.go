@@ -12,7 +12,7 @@ import (
 	"streamcover/internal/stream"
 )
 
-// One benchmark per reproduced experiment (DESIGN.md §4): each regenerates
+// One benchmark per reproduced experiment (DESIGN.md §5): each regenerates
 // its table at quick scale, so `go test -bench=.` both times the harness
 // and re-checks that every experiment still runs end to end. Full-scale
 // tables come from `go run ./cmd/tradeoff`.

@@ -1,0 +1,204 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"streamcover"
+)
+
+// APIError is a non-2xx response from the service, carrying the HTTP
+// status code and the server's error message.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("coverd: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// Client talks to one coverd server. It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8650"); a trailing slash is tolerated.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do issues a request and decodes the JSON response into out (skipped when
+// out is nil). Non-2xx responses decode into an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, contentType string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e ErrorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("coverd: undecodable response %q: %w", raw, err)
+	}
+	return nil
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	buf, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, path, bytes.NewReader(buf), "application/json", out)
+}
+
+// Health checks GET /v1/healthz.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var h HealthResponse
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, "", &h)
+	return h, err
+}
+
+// Stats reads GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var s StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, "", &s)
+	return s, err
+}
+
+// UploadInstance uploads an in-memory instance (binary codec on the wire)
+// and returns its content hash, deduplicated server-side.
+func (c *Client) UploadInstance(ctx context.Context, inst *streamcover.Instance) (UploadResponse, error) {
+	var buf bytes.Buffer
+	if err := streamcover.WriteInstanceBinary(&buf, inst); err != nil {
+		return UploadResponse{}, err
+	}
+	return c.UploadReader(ctx, &buf)
+}
+
+// UploadReader uploads an instance already encoded in either on-disk codec
+// (the server sniffs the format) — e.g. an opened instance file.
+func (c *Client) UploadReader(ctx context.Context, r io.Reader) (UploadResponse, error) {
+	var up UploadResponse
+	err := c.do(ctx, http.MethodPost, "/v1/instances", r, "application/octet-stream", &up)
+	return up, err
+}
+
+// Submit enqueues a solve job without waiting and returns its first
+// snapshot (queued, or already done on a server-side cache hit).
+func (c *Client) Submit(ctx context.Context, req SolveRequest) (Job, error) {
+	req.Wait = false
+	var j Job
+	err := c.postJSON(ctx, "/v1/solve", req, &j)
+	return j, err
+}
+
+// Solve submits a job and blocks until it finishes, returning the terminal
+// snapshot. Cancelling ctx hangs up the request, which makes the server
+// cancel the job.
+func (c *Client) Solve(ctx context.Context, req SolveRequest) (Job, error) {
+	req.Wait = true
+	var j Job
+	err := c.postJSON(ctx, "/v1/solve", req, &j)
+	return j, err
+}
+
+// Job fetches one snapshot of a job.
+func (c *Client) Job(ctx context.Context, id string) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, "", &j)
+	return j, err
+}
+
+// Cancel requests cancellation of a queued or running job and returns the
+// job's snapshot.
+func (c *Client) Cancel(ctx context.Context, id string) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, "", &j)
+	return j, err
+}
+
+// Watch tails the job's NDJSON status stream (GET /v1/jobs/{id}?watch=1),
+// invoking onUpdate for every snapshot the server emits, and returns the
+// terminal snapshot. onUpdate may be nil.
+func (c *Client) Watch(ctx context.Context, id string, onUpdate func(Job)) (Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"?watch=1", nil)
+	if err != nil {
+		return Job{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return Job{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		var e ErrorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return Job{}, &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+		}
+		return Job{}, &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	}
+	var last Job
+	seen := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	for sc.Scan() {
+		var j Job
+		if err := json.Unmarshal(sc.Bytes(), &j); err != nil {
+			return last, fmt.Errorf("coverd: bad watch line %q: %w", sc.Text(), err)
+		}
+		last, seen = j, true
+		if onUpdate != nil {
+			onUpdate(j)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	if !seen {
+		return last, fmt.Errorf("coverd: watch stream for job %s ended without a snapshot", id)
+	}
+	if !last.Status.Terminal() {
+		return last, fmt.Errorf("coverd: watch stream for job %s ended at non-terminal status %s", id, last.Status)
+	}
+	return last, nil
+}

@@ -1,0 +1,122 @@
+package client_test
+
+import (
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"streamcover"
+	"streamcover/client"
+	"streamcover/internal/registry"
+	"streamcover/internal/service"
+)
+
+func newServer(t *testing.T) *client.Client {
+	t.Helper()
+	reg := registry.New(registry.Config{})
+	sched := service.NewScheduler(reg, service.Config{Slots: 2})
+	srv := httptest.NewServer(service.NewServer(reg, sched, 0))
+	t.Cleanup(func() {
+		srv.Close()
+		sched.Stop()
+	})
+	return client.New(srv.URL + "/") // trailing slash is tolerated
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	c := newServer(t)
+	ctx := t.Context()
+
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health: %v / %+v", err, h)
+	}
+
+	inst, _ := streamcover.GeneratePlanted(9, 1024, 128, 4)
+	up, err := c.UploadInstance(ctx, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.Added || up.N != inst.N || up.M != inst.M() {
+		t.Fatalf("upload: %+v", up)
+	}
+	again, err := c.UploadInstance(ctx, inst)
+	if err != nil || again.Added || again.Hash != up.Hash {
+		t.Fatalf("re-upload: %+v err=%v", again, err)
+	}
+
+	// Blocking solve matches the in-process result bit for bit.
+	job, err := c.Solve(ctx, client.SolveRequest{Instance: up.Hash, Alpha: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != client.StatusDone {
+		t.Fatalf("job %s (%s)", job.Status, job.Error)
+	}
+	want, err := streamcover.SolveSetCover(inst,
+		streamcover.WithAlpha(2), streamcover.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(job.Result.Cover, want.Cover) ||
+		job.Result.Passes != want.Passes || job.Result.SpaceWords != want.SpaceWords {
+		t.Fatalf("wire result %+v != local %+v", job.Result, want)
+	}
+
+	// Async submit + watch reaches the same terminal result (cache hit is
+	// fine — that is the service contract).
+	sub, err := c.Submit(ctx, client.SolveRequest{Instance: up.Hash, Alpha: 2, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updates int
+	final, err := c.Watch(ctx, sub.ID, func(client.Job) { updates++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != client.StatusDone || updates == 0 {
+		t.Fatalf("watch: status=%s updates=%d", final.Status, updates)
+	}
+
+	// Job polling agrees with watch.
+	polled, err := c.Job(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(polled.Result, final.Result) {
+		t.Fatalf("poll/watch disagree: %+v vs %+v", polled.Result, final.Result)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scheduler.Submitted < 2 || st.Registry.Instances != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestClientAPIErrors(t *testing.T) {
+	c := newServer(t)
+	ctx := t.Context()
+
+	var apiErr *client.APIError
+	if _, err := c.Solve(ctx, client.SolveRequest{Instance: "ffff"}); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("unknown instance: %v", err)
+	}
+	if _, err := c.Job(ctx, "j404"); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("unknown job: %v", err)
+	}
+	if _, err := c.Watch(ctx, "j404", nil); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("unknown watch: %v", err)
+	}
+	inst, _ := streamcover.GeneratePlanted(9, 64, 16, 2)
+	up, err := c.UploadInstance(ctx, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve(ctx, client.SolveRequest{Instance: up.Hash, Algo: "quantum"}); !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Fatalf("bad algo: %v", err)
+	}
+}

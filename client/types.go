@@ -1,0 +1,178 @@
+// Package client is the Go client for coverd, streamcover's solve service,
+// and the home of the service's wire types (shared with the server so the
+// two cannot drift).
+//
+// A Client talks to a coverd instance over its JSON HTTP API: upload
+// instances (deduplicated server-side by content hash), submit solve jobs,
+// poll or stream job status, cancel jobs, and read service stats. The
+// determinism contract carries over the wire: for a fixed seed, a solve
+// through coverd returns bit-identical cover, passes and space to the
+// corresponding in-process streamcover.Solve* call.
+//
+//	c := client.New("http://localhost:8650")
+//	up, _ := c.UploadInstance(ctx, inst)
+//	job, _ := c.Solve(ctx, client.SolveRequest{Instance: up.Hash, Alpha: 3, Seed: 42})
+//	fmt.Println(job.Result.Cover)
+package client
+
+import "time"
+
+// Algos lists the solver names accepted by SolveRequest.Algo ("alg1" is
+// accepted as an alias for "setcover").
+var Algos = []string{"setcover", "maxcover", "greedy", "exact", "progressive", "storeall"}
+
+// Orders lists the arrival orders accepted by SolveRequest.Order ("random"
+// is accepted as an alias for "random-once").
+var Orders = []string{"adversarial", "random-once", "random-each-pass"}
+
+// SolveRequest is the body of POST /v1/solve: an instance named by content
+// hash plus the full option surface of the public Solve* API. Zero-valued
+// fields take the same defaults as the corresponding With* options —
+// except Seed, which passes through verbatim (0 is a legal seed; an
+// in-process call that omits WithSeed uses 1, so name the seed explicitly
+// when cross-checking against a local solve).
+type SolveRequest struct {
+	// Instance is the content hash returned by POST /v1/instances.
+	Instance string `json:"instance"`
+	// Algo selects the solver: setcover (Algorithm 1 with the õpt-guess
+	// grid; the default), maxcover (sampled streaming max k-coverage),
+	// greedy/exact (offline references), progressive/storeall (streaming
+	// baselines).
+	Algo string `json:"algo,omitempty"`
+	// Alpha, Epsilon, Seed, Order, GreedySubsolver, SampleConstant and
+	// OptimumHint mirror WithAlpha, WithEpsilon, WithSeed, WithOrder,
+	// WithGreedySubsolver, WithSampleConstant and WithOptimumHint.
+	Alpha           int     `json:"alpha,omitempty"`
+	Epsilon         float64 `json:"epsilon,omitempty"`
+	Seed            uint64  `json:"seed,omitempty"`
+	Order           string  `json:"order,omitempty"`
+	GreedySubsolver bool    `json:"greedy_subsolver,omitempty"`
+	SampleConstant  float64 `json:"sample_constant,omitempty"`
+	OptimumHint     int     `json:"opt_hint,omitempty"`
+	// K is the coverage budget (maxcover only; required there).
+	K int `json:"k,omitempty"`
+	// Lambda is the threshold decay (progressive only; default 2).
+	Lambda float64 `json:"lambda,omitempty"`
+	// Workers caps this job's guess-grid parallelism below the server's
+	// per-job budget. It cannot change the result (the library's
+	// determinism contract) and is excluded from the result-cache key.
+	Workers int `json:"workers,omitempty"`
+	// NoCache forces a fresh solve even when a cached result exists; the
+	// fresh result still populates the cache.
+	NoCache bool `json:"no_cache,omitempty"`
+	// Wait makes POST /v1/solve block until the job finishes; if the
+	// waiting client disconnects, the server cancels the job.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// SolveResult is the wire form of a finished solve, covering every Algo
+// shape (setcover-style cover + accounting, maxcover's covered count).
+type SolveResult struct {
+	// Cover is the chosen set IDs, sorted.
+	Cover []int `json:"cover"`
+	// Covered is the number of covered universe elements (maxcover only;
+	// a full cover covers n by definition).
+	Covered int `json:"covered,omitempty"`
+	// Guess is the winning õpt guess (setcover only).
+	Guess int `json:"guess,omitempty"`
+	// Passes and SpaceWords are the streaming accounting; 0 passes means an
+	// offline reference solve.
+	Passes     int `json:"passes"`
+	SpaceWords int `json:"space_words"`
+}
+
+// JobStatus is the lifecycle state of a job: queued → running → one of
+// done / failed / canceled.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusDone     JobStatus = "done"
+	StatusFailed   JobStatus = "failed"
+	StatusCanceled JobStatus = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Job is a point-in-time snapshot of a solve job, as served by
+// GET /v1/jobs/{id}.
+type Job struct {
+	ID       string       `json:"id"`
+	Status   JobStatus    `json:"status"`
+	Request  SolveRequest `json:"request"`
+	Result   *SolveResult `json:"result,omitempty"`
+	Error    string       `json:"error,omitempty"`
+	CacheHit bool         `json:"cache_hit,omitempty"`
+	Created  time.Time    `json:"created"`
+	Started  *time.Time   `json:"started,omitempty"`
+	Finished *time.Time   `json:"finished,omitempty"`
+}
+
+// UploadResponse is the body of a successful POST /v1/instances.
+type UploadResponse struct {
+	// Hash is the instance's content identity; solve requests name it.
+	Hash string `json:"hash"`
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+	// Added is false when the upload deduplicated against a resident twin.
+	Added bool  `json:"added"`
+	Bytes int64 `json:"bytes"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the body of GET /v1/healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// SchedulerStats is the scheduler's cumulative accounting.
+type SchedulerStats struct {
+	Submitted   uint64 `json:"submitted"`
+	Completed   uint64 `json:"completed"`
+	Failed      uint64 `json:"failed"`
+	Canceled    uint64 `json:"canceled"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheSize   int    `json:"cache_size"`
+	Running     int    `json:"running"`
+	Queued      int    `json:"queued"`
+	PeakRunning int    `json:"peak_running"`
+	// PeakSpaceWords is the largest SpaceWords any completed job reported —
+	// the serving-layer view of the paper's space accounting.
+	PeakSpaceWords int `json:"peak_space_words"`
+	Slots          int `json:"slots"`
+	JobWorkers     int `json:"job_workers"`
+	QueueDepth     int `json:"queue_depth"`
+}
+
+// RegistryStats summarizes the resident-instance store.
+type RegistryStats struct {
+	Instances     int    `json:"instances"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	BudgetBytes   int64  `json:"budget_bytes"`
+	Evictions     uint64 `json:"evictions"`
+}
+
+// InstanceInfo describes one resident instance.
+type InstanceInfo struct {
+	Hash  string `json:"hash"`
+	N     int    `json:"n"`
+	M     int    `json:"m"`
+	Bytes int64  `json:"bytes"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Scheduler SchedulerStats `json:"scheduler"`
+	Registry  RegistryStats  `json:"registry"`
+	Instances []InstanceInfo `json:"instances"`
+}

@@ -7,15 +7,19 @@
 //	go run ./cmd/benchcmp BENCH_csr.json BENCH_masks.json
 //
 // Output is one row per benchmark present in either file, with the
-// old/new ratio (>1 means the new recording is faster). The comparison is
-// informational: the exit status is non-zero only for unreadable input,
-// never for regressions, so it can run as a non-blocking CI step.
+// old/new ratio (>1 means the new recording is faster); a benchmark
+// present in only one recording is reported as `removed` (old only) or
+// `new` (new only) rather than silently dropped, so a renamed or deleted
+// benchmark is visible in the delta. The comparison is informational: the
+// exit status is non-zero only for unreadable input, never for
+// regressions, so it can run as a non-blocking CI step.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -71,6 +75,61 @@ func load(path string) (map[string]float64, error) {
 	return out, nil
 }
 
+// row is one line of the comparison: a benchmark present in either
+// recording. Status is "" for a benchmark present in both, "removed" for
+// old-only and "new" for new-only.
+type row struct {
+	Name     string
+	Old, New float64 // ns/op; meaningful per Status
+	Status   string
+}
+
+// diff joins two recordings into sorted rows, keeping one-sided benchmarks
+// as removed/new rows instead of dropping them.
+func diff(old, now map[string]float64) []row {
+	names := map[string]bool{}
+	for n := range old {
+		names[n] = true
+	}
+	for n := range now {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	rows := make([]row, 0, len(sorted))
+	for _, n := range sorted {
+		o, hasOld := old[n]
+		v, hasNew := now[n]
+		switch {
+		case hasOld && hasNew:
+			rows = append(rows, row{Name: n, Old: o, New: v})
+		case hasOld:
+			rows = append(rows, row{Name: n, Old: o, Status: "removed"})
+		default:
+			rows = append(rows, row{Name: n, New: v, Status: "new"})
+		}
+	}
+	return rows
+}
+
+// render writes the comparison table.
+func render(w io.Writer, rows []row) {
+	fmt.Fprintf(w, "%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "old/new")
+	for _, r := range rows {
+		switch r.Status {
+		case "removed":
+			fmt.Fprintf(w, "%-52s %14.0f %14s %9s\n", r.Name, r.Old, "-", "removed")
+		case "new":
+			fmt.Fprintf(w, "%-52s %14s %14.0f %9s\n", r.Name, "-", r.New, "new")
+		default:
+			fmt.Fprintf(w, "%-52s %14.0f %14.0f %8.2fx\n", r.Name, r.Old, r.New, r.Old/r.New)
+		}
+	}
+}
+
 func main() {
 	if len(os.Args) != 3 {
 		fmt.Fprintf(os.Stderr, "usage: benchcmp <old.json> <new.json>\n")
@@ -86,30 +145,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	names := map[string]bool{}
-	for n := range old {
-		names[n] = true
-	}
-	for n := range now {
-		names[n] = true
-	}
-	sorted := make([]string, 0, len(names))
-	for n := range names {
-		sorted = append(sorted, n)
-	}
-	sort.Strings(sorted)
-
-	fmt.Printf("%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "old/new")
-	for _, n := range sorted {
-		o, hasOld := old[n]
-		v, hasNew := now[n]
-		switch {
-		case hasOld && hasNew:
-			fmt.Printf("%-52s %14.0f %14.0f %8.2fx\n", n, o, v, o/v)
-		case hasOld:
-			fmt.Printf("%-52s %14.0f %14s %9s\n", n, o, "-", "gone")
-		default:
-			fmt.Printf("%-52s %14s %14.0f %9s\n", n, "-", v, "new")
-		}
-	}
+	render(os.Stdout, diff(old, now))
 }

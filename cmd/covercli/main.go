@@ -7,18 +7,28 @@
 //	covercli -in instance.sc -algo alg1 -alpha 3
 //	covercli -gen planted -n 8192 -m 1024 -opt 6 -algo progressive
 //	covercli -gen zipf -n 4096 -m 512 -algo greedy
+//	covercli -server http://localhost:8650 -gen planted -alpha 3
 //
 // Algorithms: alg1 (the paper's Algorithm 1), progressive (threshold-decay
 // multi-pass greedy), storeall (buffer stream + offline greedy), greedy
 // (offline), exact (offline branch-and-bound).
+//
+// With -server the solve runs remotely on a coverd daemon: the instance is
+// uploaded (deduplicated by content hash) and solved by the service, and
+// the result is verified locally. The output is identical to a local run
+// with the same flags — that is coverd's determinism-over-the-wire
+// contract, and `make serve-smoke` diffs the two outputs to enforce it.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"streamcover"
+	"streamcover/client"
 	"streamcover/internal/baselines"
 	"streamcover/internal/core"
 	"streamcover/internal/rng"
@@ -39,8 +49,18 @@ func main() {
 		order   = flag.String("order", "adversarial", "arrival order: adversarial, random")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "guess-grid worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical at every value")
+		server  = flag.String("server", "", "coverd base URL; non-empty runs the solve remotely")
 	)
 	flag.Parse()
+	if err := validateFlags(*algo, *gen, *order, *in); err != nil {
+		fmt.Fprintf(os.Stderr, "covercli: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *server != "" {
+		runRemote(*server, *in, *gen, *n, *m, *opt, *algo, *alpha, *eps, *order, *seed, *workers)
+		return
+	}
 
 	// For files, the streaming algorithms consume the file pass by pass
 	// without materializing it (stream.FileStream); the in-memory instance
@@ -106,12 +126,86 @@ func main() {
 	}
 }
 
+// runRemote solves on a coverd daemon: upload (deduplicated by content
+// hash), solve with the same options, verify the returned cover locally.
+// The printed lines deliberately match the local driver byte for byte so
+// the serve-smoke target can diff a remote run against a local one.
+func runRemote(base, in, gen string, n, m, opt int, algo string, alpha int, eps float64,
+	order string, seed uint64, workers int) {
+	inst, err := loadInstance(in, gen, n, m, opt, seed)
+	if err != nil {
+		fatal(err)
+	}
+	// A local `-in file -algo alg1` run with the default adversarial order
+	// takes the file-streaming path, whose output has its own shape (no
+	// stats or verification lines); mirror it so remote == local holds on
+	// every flag combination, not just the in-memory paths.
+	fileStreamed := in != "" && algo == "alg1" && order == "adversarial"
+	if fileStreamed {
+		fmt.Printf("instance (file-streamed): n=%d m=%d\n", inst.N, inst.M())
+	} else {
+		st := streamcover.ComputeStats(inst)
+		fmt.Printf("instance: n=%d m=%d total=%d words, set sizes %d..%d (mean %.1f)\n",
+			st.N, st.M, st.TotalSize, st.MinSize, st.MaxSize, st.MeanSize)
+	}
+
+	ctx := context.Background()
+	c := client.New(base)
+	up, err := c.UploadInstance(ctx, inst)
+	if err != nil {
+		fatal(err)
+	}
+	job, err := c.Solve(ctx, client.SolveRequest{
+		Instance: up.Hash, Algo: algo, Alpha: alpha, Epsilon: eps,
+		Order: order, Seed: seed, Workers: workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if job.Status != client.StatusDone {
+		fatal(fmt.Errorf("remote job %s %s: %s", job.ID, job.Status, job.Error))
+	}
+	res := job.Result
+	switch algo {
+	case "alg1":
+		fmt.Printf("alg1(α=%d): %s\n", alpha, streamcover.SetCoverResult{
+			Cover: res.Cover, Guess: res.Guess, Passes: res.Passes, SpaceWords: res.SpaceWords,
+		})
+		if fileStreamed {
+			// The file-streaming path prints no verification line; verify
+			// quietly to keep the output diffable while still checking.
+			if !inst.IsCover(res.Cover) {
+				fatal(fmt.Errorf("INTERNAL ERROR: remote cover does not cover the universe"))
+			}
+		} else {
+			verify(inst, res.Cover)
+		}
+	case "progressive":
+		fmt.Printf("progressive(λ=2): cover=%d sets, %d passes, %d words\n",
+			len(res.Cover), res.Passes, res.SpaceWords)
+		verify(inst, res.Cover)
+	case "storeall":
+		fmt.Printf("storeall: cover=%d sets, %d passes, %d words\n",
+			len(res.Cover), res.Passes, res.SpaceWords)
+		verify(inst, res.Cover)
+	case "greedy":
+		fmt.Printf("offline greedy: cover=%d sets\n", len(res.Cover))
+		verify(inst, res.Cover)
+	case "exact":
+		fmt.Printf("offline exact: cover=%d sets (optimal)\n", len(res.Cover))
+		verify(inst, res.Cover)
+	}
+}
+
 // runFileStreaming drives Algorithm 1 directly over a file-backed stream:
 // each pass re-reads the file, so instances larger than memory work as
 // long as the algorithm's own footprint fits. The codec is auto-detected
 // (binary files stream with a reusable buffer and no re-parsing; text files
 // fall back to line scanning), and a mid-pass file error aborts the solve
-// through the driver rather than truncating a pass.
+// through the driver rather than truncating a pass. The RNG discipline
+// (core.SolveFileRNG) matches core.Solve, so the result is bit-identical
+// to SolveSetCover on the decoded instance — which is also what a remote
+// (-server) run computes.
 func runFileStreaming(path string, alpha int, eps float64, seed uint64, workers int) {
 	fs, err := stream.Open(path)
 	if err != nil {
@@ -120,15 +214,13 @@ func runFileStreaming(path string, alpha int, eps float64, seed uint64, workers 
 	defer fs.Close()
 	fmt.Printf("instance (file-streamed): n=%d m=%d\n", fs.Universe(), fs.Len())
 	cfg := core.Config{Alpha: alpha, Epsilon: eps, Workers: workers}
-	solver := core.NewSolver(fs.Universe(), fs.Len(), cfg, rng.New(seed))
-	acc, err := solver.Run(fs, cfg.MaxPasses()+1)
+	best, acc, err := core.SolveStream(fs, cfg, core.SolveFileRNG(seed))
 	if err != nil {
+		if errors.Is(err, streamcover.ErrInfeasible) {
+			fmt.Println("alg1: infeasible (universe not coverable)")
+			os.Exit(1)
+		}
 		fatal(err)
-	}
-	best, ok := solver.Best()
-	if !ok {
-		fmt.Println("alg1: infeasible (universe not coverable)")
-		os.Exit(1)
 	}
 	fmt.Printf("alg1(α=%d): cover=%d sets (guess %d), %d passes, %d words\n",
 		alpha, len(best.Cover), best.Guess, acc.Passes, acc.PeakSpace)

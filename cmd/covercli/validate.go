@@ -1,0 +1,42 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Valid flag vocabularies. Unknown values are rejected up front with a
+// usage line instead of falling through to a default mid-run (an
+// unnoticed typo like -order=adverserial used to silently solve in
+// adversarial order; -algo and -gen used to fail only after generating or
+// loading the instance).
+var (
+	validAlgos  = []string{"alg1", "progressive", "storeall", "greedy", "exact"}
+	validGens   = []string{"planted", "uniform", "zipf", "clustered"}
+	validOrders = []string{"adversarial", "random"}
+)
+
+// validateChoice checks one enum-valued flag, returning a usage-style
+// error listing the valid choices.
+func validateChoice(flagName, val string, valid []string) error {
+	for _, v := range valid {
+		if val == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown -%s %q (valid: %s)", flagName, val, strings.Join(valid, ", "))
+}
+
+// validateFlags rejects unknown -algo/-gen/-order values. gen is only
+// validated when it will be used (no -in file).
+func validateFlags(algo, gen, order, in string) error {
+	if err := validateChoice("algo", algo, validAlgos); err != nil {
+		return err
+	}
+	if in == "" {
+		if err := validateChoice("gen", gen, validGens); err != nil {
+			return err
+		}
+	}
+	return validateChoice("order", order, validOrders)
+}

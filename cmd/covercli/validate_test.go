@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                 string
+		algo, gen, order, in string
+		wantErr              string // substring; "" means valid
+	}{
+		{name: "defaults", algo: "alg1", gen: "planted", order: "adversarial"},
+		{name: "all algos", algo: "exact", gen: "zipf", order: "random"},
+		{name: "progressive", algo: "progressive", gen: "uniform", order: "adversarial"},
+		{name: "storeall", algo: "storeall", gen: "clustered", order: "random"},
+		{name: "greedy with file", algo: "greedy", gen: "ignored-when-in-set", order: "adversarial", in: "x.sc"},
+
+		{name: "bad algo", algo: "alg2", gen: "planted", order: "adversarial",
+			wantErr: `unknown -algo "alg2"`},
+		{name: "bad algo lists choices", algo: "quantum", gen: "planted", order: "adversarial",
+			wantErr: "alg1, progressive, storeall, greedy, exact"},
+		{name: "bad gen", algo: "alg1", gen: "gaussian", order: "adversarial",
+			wantErr: `unknown -gen "gaussian"`},
+		{name: "bad gen lists choices", algo: "alg1", gen: "gaussian", order: "adversarial",
+			wantErr: "planted, uniform, zipf, clustered"},
+		{name: "bad gen ignored with -in", algo: "alg1", gen: "gaussian", order: "adversarial", in: "x.sc"},
+		{name: "bad order", algo: "alg1", gen: "planted", order: "adverserial",
+			wantErr: `unknown -order "adverserial"`},
+		{name: "bad order lists choices", algo: "alg1", gen: "planted", order: "shuffled",
+			wantErr: "adversarial, random"},
+		{name: "empty algo", algo: "", gen: "planted", order: "adversarial",
+			wantErr: "unknown -algo"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.algo, tc.gen, tc.order, tc.in)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,120 @@
+// Command coverd is streamcover's solve daemon: it keeps set-cover
+// instances resident in a content-addressed, memory-budgeted registry and
+// multiplexes concurrent solve jobs over a bounded scheduler, exposed as a
+// JSON HTTP API (see internal/service for the endpoint reference and
+// DESIGN.md §3 for the architecture).
+//
+// Usage:
+//
+//	coverd -addr :8650 -slots 4 -mem-budget-mb 512
+//	coverd -addr 127.0.0.1:0 -addr-file /tmp/coverd.addr   # random port
+//	coverd -load instances/hard.scb -load instances/web.sc # preload files
+//
+// The bound address is printed on stdout (and written to -addr-file when
+// given), so scripts can start coverd on port 0 and discover the port.
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight HTTP requests
+// drain, queued and running jobs are canceled, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamcover/internal/registry"
+	"streamcover/internal/service"
+)
+
+// stringList collects repeated -load flags.
+type stringList []string
+
+func (l *stringList) String() string { return fmt.Sprint(*l) }
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var loads stringList
+	var (
+		addr        = flag.String("addr", ":8650", "listen address (host:port; port 0 picks a free port)")
+		addrFile    = flag.String("addr-file", "", "write the bound address to this file once listening")
+		memBudget   = flag.Int64("mem-budget-mb", 256, "registry memory budget in MiB (LRU eviction above it)")
+		slots       = flag.Int("slots", 0, "concurrent solve jobs (0 = default; clamped to GOMAXPROCS)")
+		jobWorkers  = flag.Int("job-workers", 0, "guess-grid workers per job (0 = GOMAXPROCS/slots)")
+		queueDepth  = flag.Int("queue", 0, "queued-job bound before 429 backpressure (0 = default 64)")
+		cacheSize   = flag.Int("cache", 0, "result cache entries (0 = default 1024, -1 disables)")
+		maxUploadMB = flag.Int64("max-upload-mb", 1024, "largest accepted instance upload in MiB")
+	)
+	flag.Var(&loads, "load", "instance file to preload (repeatable; text or binary)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "coverd: unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reg := registry.New(registry.Config{BudgetBytes: *memBudget << 20})
+	for _, path := range loads {
+		hash, added, err := reg.LoadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coverd: preload %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		state := "loaded"
+		if !added {
+			state = "deduplicated"
+		}
+		fmt.Printf("coverd: %s %s as %s\n", state, path, hash)
+	}
+	sched := service.NewScheduler(reg, service.Config{
+		Slots: *slots, JobWorkers: *jobWorkers, QueueDepth: *queueDepth, CacheEntries: *cacheSize,
+	})
+	handler := service.NewServer(reg, sched, *maxUploadMB<<20)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coverd: %v\n", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "coverd: write -addr-file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	cfg := sched.Config()
+	fmt.Printf("coverd: listening on %s (slots=%d job-workers=%d queue=%d budget=%dMiB)\n",
+		bound, cfg.Slots, cfg.JobWorkers, cfg.QueueDepth, *memBudget)
+
+	srv := &http.Server{Handler: handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("coverd: %s, shutting down\n", s)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "coverd: serve: %v\n", err)
+		sched.Stop()
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "coverd: shutdown: %v\n", err)
+	}
+	sched.Stop()
+	fmt.Println("coverd: bye")
+}

@@ -140,3 +140,44 @@ func TestReadInstanceAutoBinary(t *testing.T) {
 		}
 	}
 }
+
+// TestFileStreamSolveMatchesSolveSetCover pins the RNG discipline of the
+// file-backed solve entry point (core.SolveStream + core.SolveFileRNG,
+// covercli's -in path): for a fixed seed it must produce the bit-identical
+// outcome — cover, guess, passes, peak space — to the public SolveSetCover
+// on the decoded instance in adversarial order. This is the local half of
+// coverd's determinism-over-the-wire contract (the serve-smoke target
+// diffs a remote solve against exactly this file-streamed output).
+func TestFileStreamSolveMatchesSolveSetCover(t *testing.T) {
+	inst, _ := GeneratePlanted(23, 1024, 128, 4)
+	path := filepath.Join(t.TempDir(), "inst.scb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteInstanceBinary(f, inst); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	const seed = 31
+	want, err := SolveSetCover(inst, WithAlpha(2), WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err := stream.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	res, acc, err := core.SolveStream(fs, core.Config{Alpha: 2}, core.SolveFileRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Cover, want.Cover) || res.Guess != want.Guess ||
+		acc.Passes != want.Passes || acc.PeakSpace != want.SpaceWords {
+		t.Fatalf("file-streamed solve (cover=%v guess=%d passes=%d space=%d) differs from SolveSetCover (%+v)",
+			res.Cover, res.Guess, acc.Passes, acc.PeakSpace, want)
+	}
+}

@@ -1,0 +1,91 @@
+// Service example: run the coverd solve service in-process, upload an
+// instance, solve it over the wire, and check the answer is bit-identical
+// to an in-process solve — the determinism-over-the-wire contract.
+//
+// In production coverd runs as its own daemon (`go run ./cmd/coverd`) and
+// clients connect over the network; wiring the server into an
+// httptest-style listener here keeps the example self-contained.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"reflect"
+
+	"streamcover"
+	"streamcover/client"
+	"streamcover/internal/registry"
+	"streamcover/internal/service"
+)
+
+func main() {
+	// The service: a content-addressed instance registry under a 64 MiB
+	// budget, and a scheduler with two solve slots.
+	reg := registry.New(registry.Config{BudgetBytes: 64 << 20})
+	sched := service.NewScheduler(reg, service.Config{Slots: 2})
+	defer sched.Stop()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.NewServer(reg, sched, 0)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("coverd serving on", base)
+
+	ctx := context.Background()
+	c := client.New(base)
+
+	// Upload: the registry deduplicates by content hash, so re-uploading
+	// is free.
+	inst, planted := streamcover.GeneratePlanted(42, 8192, 512, 6)
+	up, err := c.UploadInstance(ctx, inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded: n=%d m=%d hash=%s...\n", up.N, up.M, up.Hash[:12])
+
+	// Solve over the wire (blocking), then solve the same thing in-process.
+	req := client.SolveRequest{Instance: up.Hash, Alpha: 3, Seed: 7}
+	job, err := c.Solve(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if job.Status != client.StatusDone {
+		log.Fatalf("job %s: %s", job.Status, job.Error)
+	}
+	fmt.Printf("remote: cover=%d sets (guess %d), %d passes, %d words [planted opt %d]\n",
+		len(job.Result.Cover), job.Result.Guess, job.Result.Passes,
+		job.Result.SpaceWords, len(planted))
+
+	local, err := streamcover.SolveSetCover(inst,
+		streamcover.WithAlpha(3), streamcover.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !reflect.DeepEqual(job.Result.Cover, local.Cover) ||
+		job.Result.Passes != local.Passes || job.Result.SpaceWords != local.SpaceWords {
+		log.Fatalf("wire/local mismatch: %+v vs %+v", job.Result, local)
+	}
+	fmt.Println("determinism over the wire: remote == local, bit for bit")
+
+	// The same request again is a cache hit — same result, no solve.
+	again, err := c.Solve(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resubmitted: cache_hit=%v\n", again.CacheHit)
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stats: %d submitted, %d cache hits, %d resident instances (%d bytes), peak space %d words\n",
+		st.Scheduler.Submitted, st.Scheduler.CacheHits,
+		st.Registry.Instances, st.Registry.ResidentBytes, st.Scheduler.PeakSpaceWords)
+}

@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -102,6 +103,12 @@ type Config struct {
 	// bit-identical at every value (each guess owns an RNG split from the
 	// root seed and observes the full stream in arrival order).
 	Workers int
+	// Context, when non-nil, cancels the solve cooperatively: both drivers
+	// poll it at pass boundaries (and within passes — see stream.RunContext
+	// and parallel.Config.Context) and abort with ctx.Err(). nil means no
+	// cancellation. Cancellation does not perturb determinism: a run either
+	// completes with the usual bit-identical result or returns ctx.Err().
+	Context context.Context
 }
 
 func (c *Config) withDefaults() Config {
@@ -522,6 +529,7 @@ type Solver struct {
 	*stream.Parallel
 	runs    []*Run
 	workers int
+	ctx     context.Context
 }
 
 // NewSolver builds the parallel guess runner for a stream with universe n
@@ -538,7 +546,7 @@ func NewSolver(n, m int, cfg Config, r *rng.RNG) *Solver {
 		runs[i] = NewRun(n, m, g, c, r.Split(fmt.Sprintf("guess-%d", g)))
 		algs[i] = runs[i]
 	}
-	return &Solver{Parallel: stream.NewParallel(algs...), runs: runs, workers: c.Workers}
+	return &Solver{Parallel: stream.NewParallel(algs...), runs: runs, workers: c.Workers, ctx: c.Context}
 }
 
 // Run drives the solver over st for up to maxPasses passes at the
@@ -551,9 +559,13 @@ func NewSolver(n, m int, cfg Config, r *rng.RNG) *Solver {
 // internal/parallel's determinism contract).
 func (s *Solver) Run(st stream.Stream, maxPasses int) (stream.Accounting, error) {
 	if s.workers == 1 {
-		return stream.Run(st, s, maxPasses)
+		ctx := s.ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		return stream.RunContext(ctx, st, s, maxPasses)
 	}
-	return parallel.Run(st, s.Children(), parallel.Config{Workers: s.workers, MaxPasses: maxPasses})
+	return parallel.Run(st, s.Children(), parallel.Config{Workers: s.workers, MaxPasses: maxPasses, Context: s.ctx})
 }
 
 // Best returns the smallest feasible cover across guesses. ok is false when
@@ -580,10 +592,25 @@ func (s *Solver) Runs() []*Run { return s.runs }
 // Solve is the convenience entry point: stream the instance in the given
 // order and return the best cover with driver accounting.
 func Solve(inst *setsystem.Instance, order stream.Order, cfg Config, r *rng.RNG) (Result, stream.Accounting, error) {
-	c := cfg.withDefaults()
 	s := stream.FromInstance(inst, order, r.Split("stream-order"))
-	solver := NewSolver(inst.N, inst.M(), c, r)
-	acc, err := solver.Run(s, c.MaxPasses()+1)
+	return SolveStream(s, cfg, r)
+}
+
+// SolveStream runs the guess grid over an already-constructed stream (for
+// Solve's in-memory streams the order split has been consumed by the
+// caller; file-backed streams are inherently adversarial-order and take
+// this entry point directly, e.g. covercli's -in path). The root RNG must
+// be post-split — use SolveFile-style call sites as the template:
+//
+//	r := rng.New(seed)
+//	r.Split("stream-order") // discard: parity with Solve on the decoded instance
+//	res, acc, err := core.SolveStream(fs, cfg, r)
+//
+// SolveFileRNG packages that discipline.
+func SolveStream(st stream.Stream, cfg Config, r *rng.RNG) (Result, stream.Accounting, error) {
+	c := cfg.withDefaults()
+	solver := NewSolver(st.Universe(), st.Len(), c, r)
+	acc, err := solver.Run(st, c.MaxPasses()+1)
 	if err != nil {
 		return Result{}, acc, err
 	}
@@ -592,4 +619,16 @@ func Solve(inst *setsystem.Instance, order stream.Order, cfg Config, r *rng.RNG)
 		return Result{}, acc, offline.ErrInfeasible
 	}
 	return best, acc, nil
+}
+
+// SolveFileRNG returns the root RNG for a file-backed SolveStream call:
+// rng.New(seed) with the "stream-order" split consumed exactly as Solve
+// consumes it, so that for a fixed seed a solve over a file stream is
+// bit-identical — cover, guess, passes, space — to Solve (and the public
+// SolveSetCover) on the decoded instance in adversarial order. This is
+// the equality the coverd serve-smoke diff enforces end to end.
+func SolveFileRNG(seed uint64) *rng.RNG {
+	r := rng.New(seed)
+	r.Split("stream-order")
+	return r
 }

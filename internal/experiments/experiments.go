@@ -5,7 +5,7 @@
 // The paper is a theory paper with no empirical tables; every experiment
 // regenerates the measurable shape of a theorem or load-bearing lemma —
 // who wins, by what factor, where transitions fall — as laid out in
-// DESIGN.md §4.
+// DESIGN.md §5.
 package experiments
 
 import (

@@ -41,6 +41,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -61,6 +62,11 @@ type Config struct {
 	// (0 means DefaultChunkSize). Larger chunks amortize channel traffic;
 	// smaller chunks reduce producer/worker skew.
 	ChunkSize int
+	// Context, when non-nil, cancels the run cooperatively: the producer
+	// polls it before every pass and every broadcast chunk, and Run aborts
+	// with ctx.Err() using the same shape as a mid-pass stream failure
+	// (partial pass accounted, EndPass skipped). nil means no cancellation.
+	Context context.Context
 }
 
 // DefaultChunkSize is the item fan-out granularity used when
@@ -115,7 +121,18 @@ func Run(s stream.Stream, children []stream.PassAlgorithm, cfg Config) (stream.A
 		chunkSize = DefaultChunkSize
 	}
 	stable := stableItems(s)
+	var cancel <-chan struct{}
+	if cfg.Context != nil {
+		cancel = cfg.Context.Done()
+	}
 	for pass := 0; pass < cfg.MaxPasses; pass++ {
+		if cancel != nil {
+			select {
+			case <-cancel:
+				return acc, cfg.Context.Err()
+			default:
+			}
+		}
 		active = active[:0]
 		base := 0 // finished children keep paying for retained state
 		for i := range children {
@@ -127,7 +144,7 @@ func Run(s stream.Stream, children []stream.PassAlgorithm, cfg Config) (stream.A
 		}
 		s.Reset()
 		items, serr := runPass(s, children, active, pass, Workers(cfg.Workers), chunkSize, stable,
-			sBegin, sLast, sEnd, passDone)
+			cfg.Context, sBegin, sLast, sEnd, passDone)
 		if serr != nil {
 			// Mid-pass stream failure: mirror the sequential driver — account
 			// the partial pass, skip EndPass, surface the error.
@@ -171,8 +188,10 @@ func Run(s stream.Stream, children []stream.PassAlgorithm, cfg Config) (stream.A
 // stream once and broadcasts read-only item chunks. Returns the number of
 // items read and the stream's mid-pass error, if any; on error the workers
 // skip EndPass (matching the sequential driver, which aborts before it).
+// A cancelled ctx (polled once per chunk) surfaces the same way, as a
+// mid-pass failure with ctx.Err().
 func runPass(s stream.Stream, children []stream.PassAlgorithm, active []int,
-	pass, workers, chunkSize int, stable bool,
+	pass, workers, chunkSize int, stable bool, ctx context.Context,
 	sBegin, sLast, sEnd []int, passDone []bool) (int, error) {
 	w := min(workers, len(active))
 	if w < 1 {
@@ -246,7 +265,12 @@ func runPass(s stream.Stream, children []stream.PassAlgorithm, active []int,
 		elemArena = make([]int32, 0, len(elemArena))
 		runArena = make([]bitset.Run, 0, len(runArena))
 	}
-	for {
+	var cancel <-chan struct{}
+	if ctx != nil {
+		cancel = ctx.Done()
+	}
+	var cancelErr error
+	for cancelErr == nil {
 		item, ok := s.Next()
 		if !ok {
 			break
@@ -265,10 +289,20 @@ func runPass(s stream.Stream, children []stream.PassAlgorithm, active []int,
 		batch = append(batch, item)
 		if len(batch) == chunkSize {
 			flush()
+			if cancel != nil {
+				select {
+				case <-cancel:
+					cancelErr = ctx.Err()
+				default:
+				}
+			}
 		}
 	}
 	flush()
 	serr := stream.PassErr(s)
+	if serr == nil {
+		serr = cancelErr
+	}
 	failed = serr != nil
 	for _, ch := range chans {
 		close(ch)

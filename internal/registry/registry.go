@@ -1,0 +1,214 @@
+// Package registry is coverd's resident-instance store: a thread-safe,
+// content-addressed cache of set-cover instances with a hard memory budget.
+//
+// Instances enter by upload (Put) or from disk (LoadFile) and are
+// deduplicated by content hash (setsystem.Hash), so re-uploading the same
+// instance — the common case for a fleet of clients solving one workload —
+// costs nothing beyond hashing the bytes. Every entry is charged its
+// estimated heap footprint (setsystem.SizeBytes) against the budget;
+// admitting a new instance evicts least-recently-used unpinned entries
+// until it fits, and fails with ErrBudget when pinned entries (instances
+// with in-flight solve jobs) leave no room. The invariant is strict:
+// resident bytes never exceed the budget, so a coverd process sized to its
+// container cannot be OOM-killed by uploads.
+//
+// Pinning is how the scheduler keeps an instance alive across a job's
+// queue-to-completion lifetime: Acquire returns the instance plus a release
+// closure; entries with outstanding pins are skipped by eviction. Releasing
+// the last pin makes the entry evictable again (it is not dropped eagerly —
+// the next admission decides).
+package registry
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"streamcover/client"
+	"streamcover/internal/setsystem"
+)
+
+// DefaultBudgetBytes is the memory budget when Config.BudgetBytes is 0:
+// generous for benchmarks, small enough for a default container.
+const DefaultBudgetBytes = 256 << 20
+
+// ErrBudget is returned by Put/LoadFile when the instance cannot be
+// admitted without exceeding the memory budget (everything evictable has
+// been evicted; what remains is pinned or the instance alone is larger than
+// the whole budget).
+var ErrBudget = errors.New("registry: memory budget exhausted")
+
+// ErrNotFound is returned by Acquire for an unknown (or evicted) hash.
+var ErrNotFound = errors.New("registry: instance not found (never uploaded, or evicted)")
+
+// Config parameterizes New.
+type Config struct {
+	// BudgetBytes caps the summed estimated footprint of resident
+	// instances. 0 means DefaultBudgetBytes.
+	BudgetBytes int64
+}
+
+// Registry is the store. The zero value is not usable; call New.
+type Registry struct {
+	mu        sync.Mutex
+	budget    int64
+	resident  int64
+	entries   map[string]*entry
+	lru       *list.List // front = most recently used
+	evictions uint64
+}
+
+type entry struct {
+	hash  string
+	inst  *setsystem.Instance
+	bytes int64
+	pins  int
+	elem  *list.Element
+}
+
+// New returns an empty registry with the configured budget.
+func New(cfg Config) *Registry {
+	b := cfg.BudgetBytes
+	if b <= 0 {
+		b = DefaultBudgetBytes
+	}
+	return &Registry{budget: b, entries: map[string]*entry{}, lru: list.New()}
+}
+
+// Put admits the instance, deduplicating by content hash. It returns the
+// hash, whether the instance was newly added (false = dedup hit, which
+// refreshes the entry's recency), and ErrBudget when it cannot fit. The
+// registry retains the instance; callers must not mutate it afterwards.
+func (r *Registry) Put(inst *setsystem.Instance) (hash string, added bool, err error) {
+	hash = setsystem.Hash(inst)
+	size := setsystem.SizeBytes(inst)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[hash]; ok {
+		r.lru.MoveToFront(e.elem)
+		return hash, false, nil
+	}
+	if !r.evictFor(size) {
+		return hash, false, fmt.Errorf("%w: need %d bytes, budget %d, %d resident (pinned entries are not evictable)",
+			ErrBudget, size, r.budget, r.resident)
+	}
+	e := &entry{hash: hash, inst: inst, bytes: size}
+	e.elem = r.lru.PushFront(e)
+	r.entries[hash] = e
+	r.resident += size
+	return hash, true, nil
+}
+
+// LoadFile reads an instance file (either codec, auto-detected) and admits
+// it as Put does.
+func (r *Registry) LoadFile(path string) (hash string, added bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", false, err
+	}
+	defer f.Close()
+	inst, err := setsystem.ReadAuto(f)
+	if err != nil {
+		return "", false, fmt.Errorf("registry: %s: %w", path, err)
+	}
+	return r.Put(inst)
+}
+
+// evictFor drops unpinned LRU entries until size more bytes fit under the
+// budget, reporting whether it succeeded. Caller holds r.mu.
+func (r *Registry) evictFor(size int64) bool {
+	if size > r.budget {
+		return false
+	}
+	for r.resident+size > r.budget {
+		victim := r.oldestUnpinned()
+		if victim == nil {
+			return false
+		}
+		r.remove(victim)
+		r.evictions++
+	}
+	return true
+}
+
+func (r *Registry) oldestUnpinned() *entry {
+	for el := r.lru.Back(); el != nil; el = el.Prev() {
+		if e := el.Value.(*entry); e.pins == 0 {
+			return e
+		}
+	}
+	return nil
+}
+
+func (r *Registry) remove(e *entry) {
+	r.lru.Remove(e.elem)
+	delete(r.entries, e.hash)
+	r.resident -= e.bytes
+}
+
+// Acquire looks up an instance by hash, refreshes its recency, and pins it
+// against eviction. The returned release closure drops the pin; it is
+// idempotent and must be called exactly once per successful Acquire (the
+// scheduler defers it to job completion). The instance is shared and
+// read-only.
+func (r *Registry) Acquire(hash string) (*setsystem.Instance, func(), error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[hash]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	r.lru.MoveToFront(e.elem)
+	e.pins++
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			r.mu.Lock()
+			e.pins--
+			r.mu.Unlock()
+		})
+	}
+	return e.inst, release, nil
+}
+
+// Contains reports whether the hash is resident (without touching recency).
+func (r *Registry) Contains(hash string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.entries[hash]
+	return ok
+}
+
+// Stats is a point-in-time summary of the store (the wire type lives in
+// the public client package).
+type Stats = client.RegistryStats
+
+// Stats returns the current store summary.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Instances:     len(r.entries),
+		ResidentBytes: r.resident,
+		BudgetBytes:   r.budget,
+		Evictions:     r.evictions,
+	}
+}
+
+// InstanceInfo describes one resident instance, for the stats endpoint
+// (the wire type lives in the public client package).
+type InstanceInfo = client.InstanceInfo
+
+// Snapshot lists the resident instances, most recently used first.
+func (r *Registry) Snapshot() []InstanceInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]InstanceInfo, 0, len(r.entries))
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		out = append(out, InstanceInfo{Hash: e.hash, N: e.inst.N, M: e.inst.M(), Bytes: e.bytes})
+	}
+	return out
+}

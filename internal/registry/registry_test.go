@@ -1,0 +1,162 @@
+package registry
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
+)
+
+// mkInst returns a small instance whose content depends on tag, so distinct
+// tags produce distinct hashes.
+func mkInst(tag int) *setsystem.Instance {
+	return setsystem.FromSets(64, [][]int{{tag % 64}, {0, 1, 2, (tag + 7) % 64}})
+}
+
+func TestPutDedup(t *testing.T) {
+	r := New(Config{})
+	h1, added, err := r.Put(mkInst(1))
+	if err != nil || !added {
+		t.Fatalf("first Put: added=%v err=%v", added, err)
+	}
+	h2, added, err := r.Put(mkInst(1))
+	if err != nil || added {
+		t.Fatalf("dedup Put: added=%v err=%v", added, err)
+	}
+	if h1 != h2 {
+		t.Fatalf("dedup changed hash: %s vs %s", h1, h2)
+	}
+	if st := r.Stats(); st.Instances != 1 {
+		t.Fatalf("want 1 resident instance, got %d", st.Instances)
+	}
+}
+
+func TestLRUEvictionUnderBudget(t *testing.T) {
+	one := setsystem.SizeBytes(mkInst(0))
+	r := New(Config{BudgetBytes: 3 * one})
+	var hashes []string
+	for i := 0; i < 5; i++ {
+		h, _, err := r.Put(mkInst(i))
+		if err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		hashes = append(hashes, h)
+		if st := r.Stats(); st.ResidentBytes > st.BudgetBytes {
+			t.Fatalf("after Put %d: resident %d exceeds budget %d", i, st.ResidentBytes, st.BudgetBytes)
+		}
+	}
+	st := r.Stats()
+	if st.Instances != 3 || st.Evictions != 2 {
+		t.Fatalf("want 3 resident / 2 evictions, got %d / %d", st.Instances, st.Evictions)
+	}
+	// The two oldest are gone, the three newest remain.
+	for i, h := range hashes {
+		want := i >= 2
+		if got := r.Contains(h); got != want {
+			t.Fatalf("instance %d resident=%v, want %v", i, got, want)
+		}
+	}
+	// Touching the LRU survivor protects it from the next eviction.
+	if _, release, err := r.Acquire(hashes[2]); err != nil {
+		t.Fatal(err)
+	} else {
+		release()
+	}
+	if _, _, err := r.Put(mkInst(5)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(hashes[2]) || r.Contains(hashes[3]) {
+		t.Fatalf("recency not honored: touched entry evicted before untouched one")
+	}
+}
+
+func TestPinnedEntriesAreNotEvicted(t *testing.T) {
+	one := setsystem.SizeBytes(mkInst(0))
+	r := New(Config{BudgetBytes: 2 * one})
+	h0, _, err := r.Put(mkInst(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _, err := r.Put(mkInst(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rel0, err := r.Acquire(h0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rel1, err := r.Acquire(h1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both entries pinned and the budget full: admission must fail, not
+	// evict in-use instances or blow the budget.
+	if _, _, err := r.Put(mkInst(2)); !errors.Is(err, ErrBudget) {
+		t.Fatalf("Put with all entries pinned: err=%v, want ErrBudget", err)
+	}
+	rel0()
+	rel0() // release is idempotent
+	if _, _, err := r.Put(mkInst(2)); err != nil {
+		t.Fatalf("Put after release: %v", err)
+	}
+	if r.Contains(h0) || !r.Contains(h1) {
+		t.Fatalf("eviction took the pinned entry instead of the released one")
+	}
+	rel1()
+}
+
+func TestInstanceLargerThanBudget(t *testing.T) {
+	r := New(Config{BudgetBytes: 16})
+	if _, _, err := r.Put(mkInst(0)); !errors.Is(err, ErrBudget) {
+		t.Fatalf("oversized Put: err=%v, want ErrBudget", err)
+	}
+}
+
+func TestAcquireUnknown(t *testing.T) {
+	r := New(Config{})
+	if _, _, err := r.Acquire("deadbeef"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err=%v, want ErrNotFound", err)
+	}
+}
+
+func TestLoadFileBothCodecs(t *testing.T) {
+	inst := setsystem.Uniform(rng.New(7), 128, 16, 4, 12)
+	dir := t.TempDir()
+	text := filepath.Join(dir, "inst.sc")
+	bin := filepath.Join(dir, "inst.scb")
+	tf, err := os.Create(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setsystem.Write(tf, inst); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+	bf, err := os.Create(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setsystem.WriteBinary(bf, inst); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+
+	r := New(Config{})
+	h1, added, err := r.LoadFile(text)
+	if err != nil || !added {
+		t.Fatalf("text load: added=%v err=%v", added, err)
+	}
+	h2, added, err := r.LoadFile(bin)
+	if err != nil || added {
+		t.Fatalf("binary load should dedup against text load: added=%v err=%v", added, err)
+	}
+	if h1 != h2 {
+		t.Fatalf("codecs hash differently: %s vs %s", h1, h2)
+	}
+	if h1 != setsystem.Hash(inst) {
+		t.Fatalf("file hash differs from in-memory hash")
+	}
+}

@@ -1,0 +1,259 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"streamcover/client"
+	"streamcover/internal/registry"
+	"streamcover/internal/setsystem"
+)
+
+// Server is the HTTP face of the solve service — coverd's handler. The API
+// is JSON over five endpoints:
+//
+//	POST   /v1/instances        upload an instance (either on-disk codec,
+//	                            sniffed); responds with its content hash
+//	POST   /v1/solve            submit a solve job; ?wait / "wait":true
+//	                            blocks until the job finishes (the request
+//	                            context cancels the job if the client goes
+//	                            away mid-wait)
+//	GET    /v1/jobs/{id}        job snapshot; ?watch=1 streams NDJSON
+//	                            snapshots on every status change until the
+//	                            job is terminal
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/healthz          liveness
+//	GET    /v1/stats            scheduler + registry + cache counters
+//
+// Every response is JSON; errors are {"error": "..."} with a matching
+// status code (400 malformed, 404 unknown instance/job, 413 oversized
+// upload, 429 queue full, 507 registry budget exhausted).
+type Server struct {
+	reg       *registry.Registry
+	sched     *Scheduler
+	mux       *http.ServeMux
+	started   time.Time
+	maxUpload int64
+}
+
+// DefaultMaxUploadBytes bounds POST /v1/instances bodies.
+const DefaultMaxUploadBytes = 1 << 30
+
+// NewServer wires the handler around a registry and scheduler.
+// maxUploadBytes <= 0 selects DefaultMaxUploadBytes.
+func NewServer(reg *registry.Registry, sched *Scheduler, maxUploadBytes int64) *Server {
+	if maxUploadBytes <= 0 {
+		maxUploadBytes = DefaultMaxUploadBytes
+	}
+	s := &Server{reg: reg, sched: sched, mux: http.NewServeMux(), started: time.Now(), maxUpload: maxUploadBytes}
+	s.mux.HandleFunc("POST /v1/instances", s.handleUpload)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Response bodies are defined in the public client package; aliased here
+// for use sites and tests.
+type (
+	UploadResponse = client.UploadResponse
+	ErrorResponse  = client.ErrorResponse
+	HealthResponse = client.HealthResponse
+	StatsResponse  = client.StatsResponse
+)
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
+	inst, err := setsystem.ReadAuto(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("instance exceeds the %d-byte upload limit", s.maxUpload))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("undecodable instance: %v", err))
+		return
+	}
+	hash, added, err := s.reg.Put(inst)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	code := http.StatusOK
+	if added {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, UploadResponse{
+		Hash: hash, N: inst.N, M: inst.M(), Added: added, Bytes: setsystem.SizeBytes(inst),
+	})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad solve request: %v", err))
+		return
+	}
+	if v := r.URL.Query().Get("wait"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad wait parameter %q: want a boolean", v))
+			return
+		}
+		req.Wait = b
+	}
+	job, err := s.sched.Submit(req)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, job)
+		return
+	}
+	final, err := s.sched.Wait(r.Context(), job.ID)
+	if err != nil {
+		// The waiting client went away: it created this job, so abort the
+		// work rather than burn a slot for nobody.
+		s.sched.Cancel(job.ID)
+		writeError(w, 499, fmt.Sprintf("client disconnected while waiting; job %s canceled: %v", job.ID, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, final)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if watch, _ := strconv.ParseBool(r.URL.Query().Get("watch")); watch {
+		s.watchJob(w, r, id)
+		return
+	}
+	job, err := s.sched.Job(id)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// watchJob streams NDJSON job snapshots: one line immediately, one on
+// every observed status change, and the final line is the terminal
+// snapshot. This is the streaming side of the API — a client tails one
+// response instead of polling.
+func (s *Server) watchJob(w http.ResponseWriter, r *http.Request, id string) {
+	done, err := s.sched.Done(id)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	var last JobStatus
+	emit := func() (terminal bool) {
+		job, err := s.sched.Job(id)
+		if err != nil {
+			return true
+		}
+		if job.Status == last {
+			return job.Status.Terminal()
+		}
+		last = job.Status
+		if enc.Encode(job) != nil {
+			return true
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return job.Status.Terminal()
+	}
+	if emit() {
+		return
+	}
+	ticker := time.NewTicker(25 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-done:
+			emit()
+			return
+		case <-ticker.C:
+			if emit() {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.sched.Cancel(id); err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	job, err := s.sched.Job(id)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Scheduler: s.sched.Stats(),
+		Registry:  s.reg.Stats(),
+		Instances: s.reg.Snapshot(),
+	})
+}
+
+// statusFor maps service/registry errors to HTTP status codes.
+func statusFor(err error) int {
+	var bad *BadRequestError
+	switch {
+	case errors.As(err, &bad):
+		return http.StatusBadRequest
+	case errors.Is(err, registry.ErrNotFound), errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, registry.ErrBudget):
+		return http.StatusInsufficientStorage
+	case errors.Is(err, ErrStopped):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}

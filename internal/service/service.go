@@ -1,0 +1,662 @@
+// Package service is coverd's solve plane: a bounded job scheduler that
+// multiplexes many concurrent solve requests over the repository's solvers,
+// plus the HTTP layer (server.go) that exposes it as a streaming JSON API.
+//
+// # Scheduling model
+//
+// A Scheduler owns a fixed pool of Config.Slots worker goroutines; each
+// running job solves with Config.JobWorkers-way guess-grid parallelism
+// (streamcover.WithParallelism), so Slots × JobWorkers is the process-wide
+// worker budget — by default it is sized to GOMAXPROCS, the same global
+// budget internal/parallel resolves for a single in-process solve.
+// Admission is two-staged and strictly bounded: at most Slots jobs run and
+// at most QueueDepth more wait in the queue; a Submit beyond that fails
+// fast with ErrQueueFull (backpressure to the client, HTTP 429) instead of
+// buffering unboundedly.
+//
+// Submitting pins the job's instance in the registry until the job reaches
+// a terminal state, so the memory-budget eviction can never pull an
+// instance out from under queued or running work.
+//
+// # Determinism over the wire
+//
+// A job's result is a pure function of (instance content hash, normalized
+// solve options): solves run through the same public entry points as an
+// in-process call with a caller-supplied seed, and the worker count is
+// excluded from the function by the library's parallelism-determinism
+// contract. That is what makes the result cache sound — Results returns
+// bit-identical covers, pass counts and space accounting whether computed
+// or cached, and a coverd answer equals the corresponding local
+// streamcover.SolveSetCover answer exactly (pinned by TestWireDeterminism
+// and the serve-smoke CI target).
+//
+// # Cancellation
+//
+// Every running job owns a context; Cancel (DELETE /v1/jobs/{id}, or a
+// waiting client disconnecting) cancels it and the solve aborts at the
+// next pass boundary or chunk poll (see streamcover.WithContext). Queued
+// jobs cancel immediately without occupying a slot.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"streamcover"
+	"streamcover/client"
+	"streamcover/internal/baselines"
+	"streamcover/internal/registry"
+	"streamcover/internal/rng"
+	"streamcover/internal/stream"
+)
+
+// The wire types live in the public client package (shared with the Go
+// client so server and client cannot drift); the scheduler aliases them.
+type (
+	SolveRequest = client.SolveRequest
+	SolveResult  = client.SolveResult
+	JobStatus    = client.JobStatus
+	Job          = client.Job
+	Stats        = client.SchedulerStats
+)
+
+// Job lifecycle states, re-exported for readability at use sites.
+const (
+	StatusQueued   = client.StatusQueued
+	StatusRunning  = client.StatusRunning
+	StatusDone     = client.StatusDone
+	StatusFailed   = client.StatusFailed
+	StatusCanceled = client.StatusCanceled
+)
+
+// Algos and Orders are the accepted enum vocabularies ("alg1" and "random"
+// are normalized to "setcover" and "random-once" respectively).
+var (
+	Algos  = client.Algos
+	Orders = client.Orders
+)
+
+// normalize applies option defaults and validates the enum fields,
+// returning the canonical request whose field values define the cache key.
+func normalize(r SolveRequest) (SolveRequest, error) {
+	switch r.Algo {
+	case "", "alg1":
+		r.Algo = "setcover"
+	case "setcover", "maxcover", "greedy", "exact", "progressive", "storeall":
+	default:
+		return r, &BadRequestError{fmt.Sprintf("unknown algo %q (valid: %s, or alg1 as an alias for setcover)",
+			r.Algo, strings.Join(Algos, ", "))}
+	}
+	switch r.Order {
+	case "", "adversarial":
+		r.Order = "adversarial"
+	case "random", "random-once":
+		r.Order = "random-once"
+	case "random-each-pass":
+	default:
+		return r, &BadRequestError{fmt.Sprintf("unknown order %q (valid: %s, or random as an alias for random-once)",
+			r.Order, strings.Join(Orders, ", "))}
+	}
+	if r.Instance == "" {
+		return r, &BadRequestError{"missing instance hash (upload via POST /v1/instances first)"}
+	}
+	if r.Alpha == 0 {
+		r.Alpha = 2
+	}
+	if r.Alpha < 1 {
+		return r, &BadRequestError{fmt.Sprintf("alpha %d out of range (want >= 1)", r.Alpha)}
+	}
+	if r.Epsilon == 0 {
+		if r.Algo == "maxcover" {
+			r.Epsilon = 0.1
+		} else {
+			r.Epsilon = 0.5
+		}
+	}
+	if r.Epsilon < 0 || r.Epsilon > 1 {
+		return r, &BadRequestError{fmt.Sprintf("epsilon %g out of range (0,1]", r.Epsilon)}
+	}
+	// Seed passes through verbatim — including 0, a legal seed. Rewriting
+	// it would make an explicit {"seed":0} solve differently from the
+	// in-process WithSeed(0) call, breaking determinism over the wire.
+	if r.Algo == "maxcover" && r.K < 1 {
+		return r, &BadRequestError{fmt.Sprintf("maxcover needs k >= 1, got %d", r.K)}
+	}
+	if r.Algo == "progressive" && r.Lambda == 0 {
+		r.Lambda = 2
+	}
+	return r, nil
+}
+
+// orderOf maps the canonical order name to the stream order.
+func orderOf(r SolveRequest) streamcover.Order {
+	switch r.Order {
+	case "random-once":
+		return streamcover.RandomOnce
+	case "random-each-pass":
+		return streamcover.RandomEachPass
+	default:
+		return streamcover.Adversarial
+	}
+}
+
+// cacheKey identifies the result of a normalized request: the instance
+// content hash plus every result-affecting option. Workers, NoCache and
+// Wait are deliberately absent — the first cannot change the result, the
+// others are per-call behavior.
+func cacheKey(r SolveRequest) string {
+	return fmt.Sprintf("%s|%s|a=%d|e=%g|s=%d|o=%s|g=%t|c=%g|h=%d|k=%d|l=%g",
+		r.Instance, r.Algo, r.Alpha, r.Epsilon, r.Seed, r.Order,
+		r.GreedySubsolver, r.SampleConstant, r.OptimumHint, r.K, r.Lambda)
+}
+
+// job is the scheduler-owned mutable record behind Job snapshots. Fields
+// are guarded by Scheduler.mu; done is closed exactly once on reaching a
+// terminal status.
+type job struct {
+	id       string
+	status   JobStatus
+	req      SolveRequest
+	result   *SolveResult
+	err      error
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	release  func()             // registry unpin, called once on terminal
+	cancel   context.CancelFunc // non-nil while running
+	canceled bool               // cancel requested (covers the queued window)
+	done     chan struct{}
+}
+
+// BadRequestError is a validation failure the HTTP layer maps to 400.
+type BadRequestError struct{ Msg string }
+
+func (e *BadRequestError) Error() string { return e.Msg }
+
+// ErrQueueFull is the admission-bound backpressure signal (HTTP 429).
+var ErrQueueFull = errors.New("service: job queue full, retry later")
+
+// ErrStopped is returned by Submit after Stop.
+var ErrStopped = errors.New("service: scheduler stopped")
+
+// ErrUnknownJob is returned for job IDs that were never issued.
+var ErrUnknownJob = errors.New("service: unknown job id")
+
+// Config parameterizes NewScheduler. The zero value is production-usable.
+type Config struct {
+	// Slots is the number of concurrently running jobs (worker pool size).
+	// Default: 2, clamped to GOMAXPROCS.
+	Slots int
+	// JobWorkers is the per-job guess-grid parallelism. Default:
+	// GOMAXPROCS / Slots (at least 1), so that Slots × JobWorkers fills the
+	// same global budget a single in-process solve would.
+	JobWorkers int
+	// QueueDepth is the number of admitted-but-not-running jobs held before
+	// Submit fails with ErrQueueFull. Default 64.
+	QueueDepth int
+	// CacheEntries caps the result cache (FIFO eviction). Default 1024;
+	// negative disables caching.
+	CacheEntries int
+	// MaxJobs caps retained job records: once exceeded, the oldest
+	// *terminal* jobs are forgotten (their IDs return ErrUnknownJob), so a
+	// long-running daemon cannot leak one record per request. In-flight
+	// jobs are never pruned; they are bounded by Slots+QueueDepth anyway.
+	// Default 4096.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Slots <= 0 {
+		c.Slots = 2
+	}
+	if p := runtime.GOMAXPROCS(0); c.Slots > p {
+		c.Slots = p
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = runtime.GOMAXPROCS(0) / c.Slots
+		if c.JobWorkers < 1 {
+			c.JobWorkers = 1
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	return c
+}
+
+// Scheduler admits solve jobs into a fixed worker pool over a registry of
+// resident instances. Create with NewScheduler; Stop for a clean shutdown.
+type Scheduler struct {
+	cfg Config
+	reg *registry.Registry
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string // job IDs in submit order, scanned by gcJobsLocked
+	queue     chan *job
+	stopped   bool
+	nextID    uint64
+	cache     map[string]*SolveResult
+	cacheFIFO []string
+	stats     Stats
+
+	wg sync.WaitGroup
+}
+
+// NewScheduler starts the worker pool and returns the scheduler.
+func NewScheduler(reg *registry.Registry, cfg Config) *Scheduler {
+	c := cfg.withDefaults()
+	s := &Scheduler{
+		cfg:   c,
+		reg:   reg,
+		jobs:  map[string]*job{},
+		queue: make(chan *job, c.QueueDepth),
+		cache: map[string]*SolveResult{},
+	}
+	for i := 0; i < c.Slots; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Config returns the resolved configuration (defaults applied).
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Submit validates and admits a solve job, returning its snapshot
+// (StatusQueued, or StatusDone immediately on a cache hit). It fails with
+// a *BadRequestError for malformed requests, registry.ErrNotFound for an
+// unknown instance hash, ErrQueueFull under backpressure and ErrStopped
+// after shutdown.
+func (s *Scheduler) Submit(req SolveRequest) (Job, error) {
+	req, err := normalize(req)
+	if err != nil {
+		return Job{}, err
+	}
+	_, release, err := s.reg.Acquire(req.Instance)
+	if err != nil {
+		return Job{}, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		release()
+		return Job{}, ErrStopped
+	}
+	s.nextID++
+	j := &job{
+		id:      fmt.Sprintf("j%d", s.nextID),
+		status:  StatusQueued,
+		req:     req,
+		created: time.Now(),
+		release: release,
+		done:    make(chan struct{}),
+	}
+	if !req.NoCache && s.cfg.CacheEntries >= 0 {
+		if res, ok := s.cache[cacheKey(req)]; ok {
+			now := time.Now()
+			j.status = StatusDone
+			j.result = res
+			j.cacheHit = true
+			j.started, j.finished = now, now
+			close(j.done)
+			release()
+			s.stats.CacheHits++
+			s.stats.Completed++
+			s.jobs[j.id] = j
+			s.order = append(s.order, j.id)
+			s.stats.Submitted++
+			s.gcJobsLocked()
+			return j.snapshotLocked(), nil
+		}
+	}
+	select {
+	case s.queue <- j:
+	default:
+		release()
+		return Job{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.stats.Submitted++
+	s.stats.Queued++
+	s.gcJobsLocked()
+	return j.snapshotLocked(), nil
+}
+
+// gcJobsLocked bounds the job table at Config.MaxJobs records by
+// forgetting the oldest terminal jobs (their IDs stop resolving). Caller
+// holds s.mu. In-flight jobs are always kept — they are bounded by
+// Slots+QueueDepth, so the table never exceeds MaxJobs + that bound.
+func (s *Scheduler) gcJobsLocked() {
+	excess := len(s.jobs) - s.cfg.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		if j := s.jobs[id]; excess > 0 && j.status.Terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+// worker is one slot of the fixed pool: it drains the queue until Stop
+// closes it, running one job at a time at JobWorkers-way parallelism.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job end to end.
+func (s *Scheduler) runJob(j *job) {
+	s.mu.Lock()
+	s.stats.Queued--
+	if j.canceled || s.stopped {
+		s.finishLocked(j, nil, context.Canceled)
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	s.stats.Running++
+	if s.stats.Running > s.stats.PeakRunning {
+		s.stats.PeakRunning = s.stats.Running
+	}
+	inst, release, err := s.reg.Acquire(j.req.Instance) // recency touch; job already holds a pin
+	s.mu.Unlock()
+	if err != nil {
+		// Unreachable while the submit-time pin is held; defensive.
+		cancel()
+		s.finish(j, nil, err)
+		return
+	}
+	release()
+
+	res, err := s.solve(ctx, inst, j.req)
+	cancel()
+	s.finish(j, res, err)
+}
+
+// finish moves a job to its terminal state, releases its registry pin and
+// updates stats. finishLocked is the variant for callers holding s.mu.
+func (s *Scheduler) finish(j *job, res *SolveResult, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finishLocked(j, res, err)
+}
+
+func (s *Scheduler) finishLocked(j *job, res *SolveResult, err error) {
+	if j.status == StatusRunning {
+		s.stats.Running--
+	}
+	j.finished = time.Now()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.result = res
+		s.stats.Completed++
+		if res.SpaceWords > s.stats.PeakSpaceWords {
+			s.stats.PeakSpaceWords = res.SpaceWords
+		}
+		// NoCache skips only the lookup; the fresh result still refreshes
+		// the cache (the documented semantics of a forced recompute).
+		if s.cfg.CacheEntries > 0 {
+			s.cacheStoreLocked(cacheKey(j.req), res)
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status = StatusCanceled
+		j.err = err
+		s.stats.Canceled++
+	default:
+		j.status = StatusFailed
+		j.err = err
+		s.stats.Failed++
+	}
+	j.release()
+	close(j.done)
+}
+
+func (s *Scheduler) cacheStoreLocked(key string, res *SolveResult) {
+	if _, ok := s.cache[key]; ok {
+		return
+	}
+	if len(s.cacheFIFO) >= s.cfg.CacheEntries {
+		delete(s.cache, s.cacheFIFO[0])
+		s.cacheFIFO = s.cacheFIFO[1:]
+	}
+	s.cache[key] = res
+	s.cacheFIFO = append(s.cacheFIFO, key)
+}
+
+// solve dispatches one job to the right solver, threading the job context
+// and the per-job worker budget.
+func (s *Scheduler) solve(ctx context.Context, inst *streamcover.Instance, req SolveRequest) (*SolveResult, error) {
+	workers := s.cfg.JobWorkers
+	if req.Workers > 0 && req.Workers < workers {
+		workers = req.Workers
+	}
+	switch req.Algo {
+	case "setcover":
+		opts := []streamcover.Option{
+			streamcover.WithAlpha(req.Alpha), streamcover.WithEpsilon(req.Epsilon),
+			streamcover.WithOrder(orderOf(req)), streamcover.WithSeed(req.Seed),
+			streamcover.WithParallelism(workers), streamcover.WithContext(ctx),
+		}
+		if req.GreedySubsolver {
+			opts = append(opts, streamcover.WithGreedySubsolver())
+		}
+		if req.SampleConstant > 0 {
+			opts = append(opts, streamcover.WithSampleConstant(req.SampleConstant))
+		}
+		if req.OptimumHint > 0 {
+			opts = append(opts, streamcover.WithOptimumHint(req.OptimumHint))
+		}
+		res, err := streamcover.SolveSetCover(inst, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return &SolveResult{Cover: res.Cover, Guess: res.Guess, Passes: res.Passes, SpaceWords: res.SpaceWords}, nil
+	case "maxcover":
+		opts := []streamcover.Option{
+			streamcover.WithEpsilon(req.Epsilon), streamcover.WithOrder(orderOf(req)),
+			streamcover.WithSeed(req.Seed), streamcover.WithParallelism(workers),
+			streamcover.WithContext(ctx),
+		}
+		if req.GreedySubsolver {
+			opts = append(opts, streamcover.WithGreedySubsolver())
+		}
+		if req.SampleConstant > 0 {
+			opts = append(opts, streamcover.WithSampleConstant(req.SampleConstant))
+		}
+		res, err := streamcover.SolveMaxCoverage(inst, req.K, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return &SolveResult{Cover: res.Chosen, Covered: res.Covered, Passes: res.Passes, SpaceWords: res.SpaceWords}, nil
+	case "greedy":
+		cover, err := streamcover.GreedySetCover(inst)
+		if err != nil {
+			return nil, err
+		}
+		return &SolveResult{Cover: cover}, nil
+	case "exact":
+		cover, err := streamcover.ExactSetCover(inst)
+		if err != nil {
+			return nil, err
+		}
+		return &SolveResult{Cover: cover}, nil
+	case "progressive":
+		pg := baselines.NewProgressiveGreedy(inst.N, req.Lambda)
+		return s.runBaseline(ctx, inst, req, pg, pg.MaxPasses(), pg.Result)
+	case "storeall":
+		sa := baselines.NewStoreAllGreedy(inst.N)
+		return s.runBaseline(ctx, inst, req, sa, 2, sa.Result)
+	default:
+		return nil, &BadRequestError{fmt.Sprintf("unknown algo %q", req.Algo)}
+	}
+}
+
+// runBaseline drives a streaming baseline over the instance in the
+// requested order, mirroring covercli's local driver.
+func (s *Scheduler) runBaseline(ctx context.Context, inst *streamcover.Instance, req SolveRequest,
+	alg stream.PassAlgorithm, maxPasses int, result func() ([]int, bool)) (*SolveResult, error) {
+	var orderRNG *rng.RNG
+	if orderOf(req) != streamcover.Adversarial {
+		orderRNG = rng.New(req.Seed)
+	}
+	st := stream.FromInstance(inst, orderOf(req), orderRNG)
+	acc, err := stream.RunContext(ctx, st, alg, maxPasses)
+	if err != nil {
+		return nil, err
+	}
+	cover, ok := result()
+	if !ok {
+		return nil, streamcover.ErrInfeasible
+	}
+	sort.Ints(cover)
+	return &SolveResult{Cover: cover, Passes: acc.Passes, SpaceWords: acc.PeakSpace}, nil
+}
+
+// Cancel requests cancellation of a job: queued jobs terminate without
+// running, running jobs abort at the solver's next cancellation poll. It
+// is a no-op on terminal jobs.
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ErrUnknownJob
+	}
+	j.canceled = true
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return nil
+}
+
+// Job returns the snapshot of a job.
+func (s *Scheduler) Job(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, ErrUnknownJob
+	}
+	return j.snapshotLocked(), nil
+}
+
+// Wait blocks until the job reaches a terminal status (returning its final
+// snapshot) or ctx is done (returning ctx.Err()).
+func (s *Scheduler) Wait(ctx context.Context, id string) (Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, ErrUnknownJob
+	}
+	select {
+	case <-j.done:
+		return s.Job(id)
+	case <-ctx.Done():
+		return Job{}, ctx.Err()
+	}
+}
+
+// Done exposes the job's completion channel (closed at terminal status),
+// for select-based waiters like the watch endpoint.
+func (s *Scheduler) Done(id string) (<-chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j.done, nil
+}
+
+// Stats returns the cumulative scheduler accounting.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.CacheSize = len(s.cache)
+	st.Slots = s.cfg.Slots
+	st.JobWorkers = s.cfg.JobWorkers
+	st.QueueDepth = s.cfg.QueueDepth
+	return st
+}
+
+// Stop shuts the scheduler down: no new submissions, queued jobs are
+// canceled, running jobs' contexts are canceled, and Stop returns once all
+// workers have exited. Idempotent.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.stopped = true
+	close(s.queue) // Submit holds s.mu for its send, so this cannot race
+	for _, j := range s.jobs {
+		j.canceled = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// snapshotLocked copies the job into its wire form. Caller holds s.mu (or
+// has exclusive access during construction).
+func (j *job) snapshotLocked() Job {
+	out := Job{
+		ID:       j.id,
+		Status:   j.status,
+		Request:  j.req,
+		CacheHit: j.cacheHit,
+		Created:  j.created,
+	}
+	if j.result != nil {
+		r := *j.result
+		r.Cover = append([]int(nil), j.result.Cover...)
+		out.Result = &r
+	}
+	if j.err != nil {
+		out.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		out.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		out.Finished = &t
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package setsystem
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Hash returns the content hash of the instance: a hex SHA-256 over the
+// universe size, the per-set lengths and the element arena, each field
+// length-prefixed so distinct shapes can never collide by concatenation.
+// Two instances hash equal iff they have the same n and the same sequence
+// of sets (order and content; sets are compared as stored, so callers that
+// want normalization-insensitive identity should SortSets first — every
+// codec reader already does).
+//
+// The registry uses this as the instance identity: uploads deduplicate by
+// hash, and a solve request names its instance by hash, which also makes
+// the (hash, options) result-cache key stable across server restarts.
+func Hash(in *Instance) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(uint64(in.N))
+	m := in.M()
+	writeU64(uint64(m))
+	for i := 0; i < m; i++ {
+		writeU64(uint64(in.SetLen(i)))
+	}
+	writeU64(uint64(len(in.elems)))
+	// Hash the arena in one pass, 8 elements per write via the fixed buffer
+	// would still be one call per element; instead reinterpret chunk-wise.
+	var chunk [512]byte
+	k := 0
+	for _, e := range in.elems {
+		binary.LittleEndian.PutUint32(chunk[k:], uint32(e))
+		k += 4
+		if k == len(chunk) {
+			h.Write(chunk[:])
+			k = 0
+		}
+	}
+	if k > 0 {
+		h.Write(chunk[:k])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SizeBytes estimates the resident heap footprint of the instance in bytes:
+// the element arena (4 bytes per element) plus the offsets table (8 bytes
+// per entry) plus a fixed struct overhead. The registry charges this
+// against its memory budget.
+func SizeBytes(in *Instance) int64 {
+	return int64(4*len(in.elems)) + int64(8*len(in.offsets)) + 64
+}

@@ -1,0 +1,44 @@
+package setsystem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHashIdentity(t *testing.T) {
+	a := FromSets(10, [][]int{{0, 1, 2}, {3, 4}, {5, 6, 7, 8, 9}})
+	b := FromSets(10, [][]int{{0, 1, 2}, {3, 4}, {5, 6, 7, 8, 9}})
+	if Hash(a) != Hash(b) {
+		t.Fatalf("equal instances hash differently: %s vs %s", Hash(a), Hash(b))
+	}
+	if len(Hash(a)) != 64 || strings.ToLower(Hash(a)) != Hash(a) {
+		t.Fatalf("hash %q is not lowercase hex sha256", Hash(a))
+	}
+}
+
+func TestHashDistinguishes(t *testing.T) {
+	base := FromSets(10, [][]int{{0, 1, 2}, {3, 4}})
+	variants := []*Instance{
+		FromSets(11, [][]int{{0, 1, 2}, {3, 4}}),     // different n
+		FromSets(10, [][]int{{3, 4}, {0, 1, 2}}),     // different set order
+		FromSets(10, [][]int{{0, 1, 2}, {3, 5}}),     // different element
+		FromSets(10, [][]int{{0, 1, 2, 3}, {4}}),     // same arena, shifted boundary
+		FromSets(10, [][]int{{0, 1, 2}, {3, 4}, {}}), // extra empty set
+	}
+	seen := map[string]bool{Hash(base): true}
+	for i, v := range variants {
+		h := Hash(v)
+		if seen[h] {
+			t.Fatalf("variant %d collides: %s", i, h)
+		}
+		seen[h] = true
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	in := FromSets(100, [][]int{{0, 1, 2}, {3, 4}})
+	want := int64(4*5 + 8*3 + 64)
+	if got := SizeBytes(in); got != want {
+		t.Fatalf("SizeBytes = %d, want %d", got, want)
+	}
+}

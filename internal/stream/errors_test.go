@@ -1,0 +1,192 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// failingStream wraps an in-memory stream and injects a read failure after
+// failAfter items of pass failPass — the shape of a disk error halfway
+// through a file-backed pass. It implements Failer the way the file
+// streams do: Next returns ok=false and Err reports the failure.
+type failingStream struct {
+	*InstanceStream
+	failPass  int
+	failAfter int
+	pass      int // current pass, counted by Reset
+	served    int
+	err       error
+}
+
+var errDiskGone = errors.New("simulated mid-pass read failure")
+
+func newFailingStream(m, failPass, failAfter int) *failingStream {
+	return &failingStream{
+		InstanceStream: FromInstance(testInstance(m), Adversarial, nil),
+		failPass:       failPass,
+		failAfter:      failAfter,
+		pass:           -1,
+	}
+}
+
+func (f *failingStream) Reset() {
+	f.InstanceStream.Reset()
+	f.pass++
+	f.served = 0
+	f.err = nil
+}
+
+func (f *failingStream) Next() (Item, bool) {
+	if f.err != nil {
+		return Item{}, false
+	}
+	if f.pass == f.failPass && f.served == f.failAfter {
+		f.err = errDiskGone
+		return Item{}, false
+	}
+	f.served++
+	return f.InstanceStream.Next()
+}
+
+func (f *failingStream) Err() error { return f.err }
+
+// passTracker records the driver's calls so tests can assert the abort
+// shape (EndPass skipped on failure).
+type passTracker struct {
+	begins, observes, ends int
+	passesWanted           int
+}
+
+func (a *passTracker) BeginPass(int) { a.begins++ }
+func (a *passTracker) Observe(Item)  { a.observes++ }
+func (a *passTracker) EndPass() bool { a.ends++; return a.ends >= a.passesWanted }
+func (a *passTracker) Space() int    { return 1 }
+
+func TestPassErr(t *testing.T) {
+	// A plain in-memory stream is not a Failer: PassErr is nil.
+	if err := PassErr(FromInstance(testInstance(3), Adversarial, nil)); err != nil {
+		t.Fatalf("PassErr on non-Failer = %v, want nil", err)
+	}
+	// A Failer's error passes through.
+	fs := newFailingStream(4, 0, 2)
+	fs.Reset()
+	for {
+		if _, ok := fs.Next(); !ok {
+			break
+		}
+	}
+	if err := PassErr(fs); !errors.Is(err, errDiskGone) {
+		t.Fatalf("PassErr = %v, want errDiskGone", err)
+	}
+	// Before anything failed, PassErr is nil even for a Failer.
+	fresh := newFailingStream(4, 5, 0)
+	fresh.Reset()
+	if err := PassErr(fresh); err != nil {
+		t.Fatalf("PassErr on healthy Failer = %v, want nil", err)
+	}
+}
+
+func TestRunAbortsOnMidPassFailure(t *testing.T) {
+	const m = 6
+	// Fail during the second pass (pass index 1) after 3 items.
+	fs := newFailingStream(m, 1, 3)
+	alg := &passTracker{passesWanted: 4}
+	acc, err := Run(fs, alg, 10)
+	if !errors.Is(err, errDiskGone) {
+		t.Fatalf("Run err = %v, want errDiskGone", err)
+	}
+	// The failing pass is accounted (partial), the run stops there.
+	if acc.Passes != 2 {
+		t.Fatalf("acc.Passes = %d, want 2 (failure in the second pass)", acc.Passes)
+	}
+	if acc.Items != m+3 {
+		t.Fatalf("acc.Items = %d, want %d (full first pass + 3)", acc.Items, m+3)
+	}
+	// EndPass must be skipped for the failed pass: a mid-pass failure must
+	// not look like a clean short pass to the algorithm.
+	if alg.begins != 2 || alg.ends != 1 {
+		t.Fatalf("begins=%d ends=%d, want 2 begins / 1 end", alg.begins, alg.ends)
+	}
+}
+
+func TestRunFailureOnFirstItem(t *testing.T) {
+	fs := newFailingStream(5, 0, 0)
+	alg := &passTracker{passesWanted: 2}
+	acc, err := Run(fs, alg, 10)
+	if !errors.Is(err, errDiskGone) {
+		t.Fatalf("Run err = %v, want errDiskGone", err)
+	}
+	if acc.Passes != 1 || acc.Items != 0 || alg.ends != 0 {
+		t.Fatalf("acc=%+v ends=%d, want 1 empty accounted pass and no EndPass", acc, alg.ends)
+	}
+}
+
+func TestErrPassLimitFormatting(t *testing.T) {
+	err := ErrPassLimit{Limit: 7}
+	msg := err.Error()
+	if !strings.Contains(msg, "7 passes") {
+		t.Fatalf("ErrPassLimit message %q does not mention the limit", msg)
+	}
+	if !strings.HasPrefix(msg, "stream:") {
+		t.Fatalf("ErrPassLimit message %q lacks the package prefix", msg)
+	}
+	// The error must keep working through wrapping, as drivers return it.
+	wrapped := fmt.Errorf("solve: %w", err)
+	var pl ErrPassLimit
+	if !errors.As(wrapped, &pl) || pl.Limit != 7 {
+		t.Fatalf("errors.As through wrapping: %v", wrapped)
+	}
+}
+
+func TestRunReturnsErrPassLimit(t *testing.T) {
+	s := FromInstance(testInstance(3), Adversarial, nil)
+	alg := &passTracker{passesWanted: 100} // never finishes
+	acc, err := Run(s, alg, 3)
+	var pl ErrPassLimit
+	if !errors.As(err, &pl) || pl.Limit != 3 {
+		t.Fatalf("err = %v, want ErrPassLimit{3}", err)
+	}
+	if acc.Passes != 3 {
+		t.Fatalf("acc.Passes = %d, want 3", acc.Passes)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	// Pre-canceled: the driver must not start a pass.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	alg := &passTracker{passesWanted: 2}
+	acc, err := RunContext(ctx, FromInstance(testInstance(4), Adversarial, nil), alg, 10)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if acc.Passes != 0 || alg.begins != 0 {
+		t.Fatalf("pre-canceled run did work: acc=%+v begins=%d", acc, alg.begins)
+	}
+	// Cancel between passes: the canceler fires during pass 0's EndPass via
+	// the tracker, so pass 1 must not begin.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	c := &cancelOnEnd{cancel: cancel2}
+	acc2, err := RunContext(ctx2, FromInstance(testInstance(4), Adversarial, nil), c, 10)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if acc2.Passes != 1 || c.begins != 1 {
+		t.Fatalf("cancellation between passes not honored: acc=%+v begins=%d", acc2, c.begins)
+	}
+}
+
+// cancelOnEnd cancels its context at the end of the first pass and never
+// reports done.
+type cancelOnEnd struct {
+	cancel context.CancelFunc
+	begins int
+}
+
+func (c *cancelOnEnd) BeginPass(int) { c.begins++ }
+func (c *cancelOnEnd) Observe(Item)  {}
+func (c *cancelOnEnd) EndPass() bool { c.cancel(); return false }
+func (c *cancelOnEnd) Space() int    { return 0 }

@@ -27,6 +27,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 
 	"streamcover/internal/bitset"
@@ -214,13 +215,38 @@ func PassErr(s Stream) error {
 // non-terminating bugs into errors). A stream failure (Failer reporting a
 // non-nil Err after a pass) aborts the run with that error.
 func Run(s Stream, alg PassAlgorithm, maxPasses int) (Accounting, error) {
+	return RunContext(context.Background(), s, alg, maxPasses)
+}
+
+// CancelCheckInterval is how many items a driver observes between
+// cancellation polls: often enough that a cancelled solve aborts within a
+// fraction of a pass, rarely enough that the poll never shows up in the
+// per-item profile.
+const CancelCheckInterval = 1024
+
+// RunContext is Run with cooperative cancellation: the driver polls
+// ctx.Done() before every pass and every CancelCheckInterval items within a
+// pass, and aborts the run with ctx.Err() (accounting the partial pass,
+// skipping EndPass — the same abort shape as a mid-pass stream failure).
+// A context that can never be cancelled costs nothing: ctx.Done() == nil
+// disables the per-item polls entirely.
+func RunContext(ctx context.Context, s Stream, alg PassAlgorithm, maxPasses int) (Accounting, error) {
 	var acc Accounting
+	cancel := ctx.Done()
 	for pass := 0; pass < maxPasses; pass++ {
+		if cancel != nil {
+			select {
+			case <-cancel:
+				return acc, ctx.Err()
+			default:
+			}
+		}
 		s.Reset()
 		alg.BeginPass(pass)
 		if sp := alg.Space(); sp > acc.PeakSpace {
 			acc.PeakSpace = sp
 		}
+		sincePoll := 0
 		for {
 			item, ok := s.Next()
 			if !ok {
@@ -230,6 +256,17 @@ func Run(s Stream, alg PassAlgorithm, maxPasses int) (Accounting, error) {
 			acc.Items++
 			if sp := alg.Space(); sp > acc.PeakSpace {
 				acc.PeakSpace = sp
+			}
+			if cancel != nil {
+				if sincePoll++; sincePoll >= CancelCheckInterval {
+					sincePoll = 0
+					select {
+					case <-cancel:
+						acc.Passes = pass + 1
+						return acc, ctx.Err()
+					default:
+					}
+				}
 			}
 		}
 		if err := PassErr(s); err != nil {

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end check of the coverd service (the CI target behind
+# `make serve-smoke`). It starts a real coverd daemon on a random port,
+# uploads a hardgen instance through `covercli -server`, solves it remotely,
+# and diffs the output byte for byte against a local in-process
+# SolveSetCover run with identical flags — the determinism-over-the-wire
+# contract. Finally it checks the daemon shuts down cleanly on SIGTERM.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+PID=""
+cleanup() {
+	[ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building coverd, covercli, hardgen"
+go build -o "$WORK/coverd" ./cmd/coverd
+go build -o "$WORK/covercli" ./cmd/covercli
+go build -o "$WORK/hardgen" ./cmd/hardgen
+
+# A D_SC hard instance (theta=0 gives a non-trivial optimum) in the binary
+# codec; the ground-truth annotations go to stderr.
+"$WORK/hardgen" -kind sc -n 1024 -m 24 -alpha 3 -theta 0 -seed 7 -format binary \
+	> "$WORK/hard.scb" 2> "$WORK/hardgen.truth"
+
+echo "serve-smoke: starting coverd on a random port"
+"$WORK/coverd" -addr 127.0.0.1:0 -addr-file "$WORK/addr" > "$WORK/coverd.log" 2>&1 &
+PID=$!
+for _ in $(seq 100); do
+	[ -s "$WORK/addr" ] && break
+	kill -0 "$PID" 2>/dev/null || { echo "serve-smoke: coverd died:"; cat "$WORK/coverd.log"; exit 1; }
+	sleep 0.1
+done
+[ -s "$WORK/addr" ] || { echo "serve-smoke: coverd never bound:"; cat "$WORK/coverd.log"; exit 1; }
+ADDR="$(cat "$WORK/addr")"
+echo "serve-smoke: coverd is on $ADDR"
+
+# Identical flags, local vs remote, on both local code paths: the default
+# adversarial order (locally file-streamed) and -order random (locally
+# in-memory). covercli mirrors each path's output shape remotely, so both
+# must diff clean.
+for ORDER in adversarial random; do
+	FLAGS=(-in "$WORK/hard.scb" -algo alg1 -alpha 3 -order "$ORDER" -seed 7)
+	"$WORK/covercli" "${FLAGS[@]}" > "$WORK/local.$ORDER.out"
+	"$WORK/covercli" -server "http://$ADDR" "${FLAGS[@]}" > "$WORK/remote.$ORDER.out"
+	if ! diff -u "$WORK/local.$ORDER.out" "$WORK/remote.$ORDER.out"; then
+		echo "serve-smoke: FAIL — remote solve differs from in-process SolveSetCover (-order $ORDER)"
+		exit 1
+	fi
+	echo "serve-smoke: remote output == local output (-order $ORDER):"
+	sed 's/^/  /' "$WORK/remote.$ORDER.out"
+done
+
+# Re-solving the same request must hit the result cache (stats come back
+# as JSON; a crude grep keeps this dependency-free).
+"$WORK/covercli" -server "http://$ADDR" "${FLAGS[@]}" > /dev/null
+if command -v curl > /dev/null; then
+	STATS="$(curl -fsS "http://$ADDR/v1/stats")"
+	echo "$STATS" | grep -q '"cache_hits":1' || {
+		echo "serve-smoke: FAIL — expected one cache hit in stats: $STATS"
+		exit 1
+	}
+	echo "$STATS" | grep -q '"instances":1' || {
+		echo "serve-smoke: FAIL — expected one resident instance (dedup): $STATS"
+		exit 1
+	}
+	echo "serve-smoke: stats OK (1 cache hit, 1 resident instance after 2 uploads)"
+fi
+
+echo "serve-smoke: asking coverd to shut down"
+kill -TERM "$PID"
+STATUS=0
+wait "$PID" || STATUS=$?
+PID=""
+if [ "$STATUS" -ne 0 ]; then
+	echo "serve-smoke: FAIL — coverd exited $STATUS:"
+	cat "$WORK/coverd.log"
+	exit 1
+fi
+grep -q "bye" "$WORK/coverd.log" || {
+	echo "serve-smoke: FAIL — no clean-shutdown marker:"
+	cat "$WORK/coverd.log"
+	exit 1
+}
+echo "serve-smoke: OK"

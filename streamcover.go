@@ -46,6 +46,7 @@
 package streamcover
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -100,6 +101,7 @@ type options struct {
 	sampleC   float64
 	optHint   int
 	workers   int
+	ctx       context.Context
 }
 
 func defaultOptions() options {
@@ -140,6 +142,15 @@ func WithSampleConstant(c float64) Option { return func(o *options) { o.sampleC 
 // ErrInfeasible — retry with a larger hint (or without one).
 func WithOptimumHint(k int) Option { return func(o *options) { o.optHint = k } }
 
+// WithContext attaches a cancellation context to the solve: the drivers
+// poll it at pass boundaries and within passes, and the solve returns
+// ctx.Err() once it is cancelled or its deadline passes. Cancellation does
+// not perturb determinism — a run either completes with the usual
+// bit-identical result or aborts with the context's error. The default
+// (nil) never cancels. This is what lets a serving layer (coverd) abort an
+// in-flight job when the requesting client goes away.
+func WithContext(ctx context.Context) Option { return func(o *options) { o.ctx = ctx } }
+
 // WithParallelism sets the worker-pool size used to fan the per-guess runs
 // out across cores (and, in SolveMaxCoverage's greedy sub-solve, the
 // per-round candidate gain scan): p <= 0 selects GOMAXPROCS (the default),
@@ -170,7 +181,7 @@ func SolveSetCover(inst *Instance, opts ...Option) (SetCoverResult, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	cfg := core.Config{Alpha: o.alpha, Epsilon: o.eps, SampleC: o.sampleC, Workers: o.workers}
+	cfg := core.Config{Alpha: o.alpha, Epsilon: o.eps, SampleC: o.sampleC, Workers: o.workers, Context: o.ctx}
 	if o.greedySub {
 		cfg.Subsolver = core.SubsolverGreedy
 	}
@@ -220,7 +231,11 @@ func SolveMaxCoverage(inst *Instance, k int, opts ...Option) (MaxCoverageResult,
 		orderRNG = r.Split("order")
 	}
 	s := stream.FromInstance(inst, o.order, orderRNG)
-	acc, err := stream.Run(s, alg, 2)
+	ctx := o.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	acc, err := stream.RunContext(ctx, s, alg, 2)
 	if err != nil {
 		return MaxCoverageResult{}, err
 	}
