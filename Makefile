@@ -15,7 +15,12 @@ BENCH_JSON ?= BENCH_masks.json
 # by the CSR data-plane PR, before the word-parallel observe plane).
 BENCH_BASELINE ?= BENCH_csr.json
 
-.PHONY: all fmt fmt-check vet build test bench bench-json bench-compare serve-smoke ci
+# Dataset-plane load benchmarks: decoding SCB1 vs mmap-opening SCB2 (the
+# zero-copy path must stay allocation-O(1) in instance size).
+DATASET_BENCH_PATTERN ?= BenchmarkLoad
+DATASET_BENCH_JSON ?= BENCH_datasets.json
+
+.PHONY: all fmt fmt-check vet build test bench bench-json bench-compare serve-smoke import-smoke ci
 
 all: build
 
@@ -45,10 +50,13 @@ bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
 ## bench-json: solver + data-plane benchmarks with allocation stats,
-## recorded as a go-test JSON event stream for cross-PR tracking
+## recorded as go-test JSON event streams for cross-PR tracking (the
+## dataset recording tracks instance load time: SCB1 decode vs SCB2 mmap)
 bench-json:
 	$(GO) test -json -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) > $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
+	$(GO) test -json -run '^$$' -bench '$(DATASET_BENCH_PATTERN)' -benchmem ./internal/setsystem > $(DATASET_BENCH_JSON)
+	@echo "wrote $(DATASET_BENCH_JSON)"
 
 ## bench-compare: diff the fresh recording against the committed baseline
 ## (informational; never fails on a regression)
@@ -62,5 +70,12 @@ bench-compare: bench-json
 serve-smoke:
 	bash scripts/serve_smoke.sh
 
+## import-smoke: end-to-end dataset-plane check — coverimport each
+## checked-in fixture to SCB2, preload into coverd via -load (mmap),
+## solve locally + remotely, diff against the pinned goldens, and verify
+## the mapped/heap accounting split in /v1/stats
+import-smoke:
+	bash scripts/import_smoke.sh
+
 ## ci: the full CI sequence, locally
-ci: fmt-check vet build test bench bench-json bench-compare serve-smoke
+ci: fmt-check vet build test bench bench-json bench-compare serve-smoke import-smoke

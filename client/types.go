@@ -154,10 +154,15 @@ type SchedulerStats struct {
 	QueueDepth     int `json:"queue_depth"`
 }
 
-// RegistryStats summarizes the resident-instance store.
+// RegistryStats summarizes the resident-instance store. ResidentBytes is
+// what the budget bounds; it splits into HeapBytes (decoded instances
+// owned by the Go heap) and MappedBytes (SCB2 files mmap'd zero-copy,
+// resident in page cache rather than heap).
 type RegistryStats struct {
 	Instances     int    `json:"instances"`
 	ResidentBytes int64  `json:"resident_bytes"`
+	HeapBytes     int64  `json:"heap_bytes"`
+	MappedBytes   int64  `json:"mapped_bytes"`
 	BudgetBytes   int64  `json:"budget_bytes"`
 	Evictions     uint64 `json:"evictions"`
 }
@@ -168,6 +173,8 @@ type InstanceInfo struct {
 	N     int    `json:"n"`
 	M     int    `json:"m"`
 	Bytes int64  `json:"bytes"`
+	// Backing is "heap" or "mapped" (an mmap'd SCB2 file).
+	Backing string `json:"backing"`
 }
 
 // StatsResponse is the body of GET /v1/stats.

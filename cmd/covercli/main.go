@@ -8,6 +8,8 @@
 //	covercli -gen planted -n 8192 -m 1024 -opt 6 -algo progressive
 //	covercli -gen zipf -n 4096 -m 512 -algo greedy
 //	covercli -server http://localhost:8650 -gen planted -alpha 3
+//	covercli -in instance.sc -convert instance.scb2            # codec convert
+//	covercli -gen zipf -n 4096 -m 512 -convert z.scb -to scb1
 //
 // Algorithms: alg1 (the paper's Algorithm 1), progressive (threshold-decay
 // multi-pass greedy), storeall (buffer stream + offline greedy), greedy
@@ -25,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"streamcover"
@@ -50,11 +53,18 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "guess-grid worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical at every value")
 		server  = flag.String("server", "", "coverd base URL; non-empty runs the solve remotely")
+		convert = flag.String("convert", "", "write the instance (-in or -gen) to this path instead of solving")
+		to      = flag.String("to", "scb2", "codec for -convert: scb2 (mmap-native), scb1 (compact varint), text")
 	)
 	flag.Parse()
-	if err := validateFlags(*algo, *gen, *order, *in); err != nil {
+	if err := validateFlags(*algo, *gen, *order, *in, *convert, *to); err != nil {
 		fmt.Fprintf(os.Stderr, "covercli: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *convert != "" {
+		runConvert(*convert, *to, *in, *gen, *n, *m, *opt, *seed)
+		return
 	}
 
 	if *server != "" {
@@ -224,6 +234,44 @@ func runFileStreaming(path string, alpha int, eps float64, seed uint64, workers 
 	}
 	fmt.Printf("alg1(α=%d): cover=%d sets (guess %d), %d passes, %d words\n",
 		alpha, len(best.Cover), best.Guess, acc.Passes, acc.PeakSpace)
+}
+
+// runConvert loads the instance (-in file in any codec, or a generator)
+// and rewrites it at the given path in the requested codec. The common
+// uses: re-encode a text or SCB1 instance as SCB2 so every later open is
+// a zero-copy mmap (covercli -in, coverd -load), or dump an SCB2 file
+// back to text for inspection.
+func runConvert(outPath, to, in, gen string, n, m, opt int, seed uint64) {
+	inst, err := loadInstance(in, gen, n, m, opt, seed)
+	if err != nil {
+		fatal(err)
+	}
+	var encode func(io.Writer, *streamcover.Instance) error
+	switch to {
+	case "scb2":
+		encode = streamcover.WriteInstanceSCB2
+	case "scb1":
+		encode = streamcover.WriteInstanceBinary
+	case "text":
+		encode = streamcover.WriteInstance
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := encode(f, inst); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fi, err := os.Stat(outPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("converted: %s (%s) n=%d m=%d total=%d, %d bytes\n",
+		outPath, to, inst.N, inst.M(), inst.TotalElems(), fi.Size())
 }
 
 func loadInstance(path, gen string, n, m, opt int, seed uint64) (*streamcover.Instance, error) {

@@ -14,6 +14,7 @@ var (
 	validAlgos  = []string{"alg1", "progressive", "storeall", "greedy", "exact"}
 	validGens   = []string{"planted", "uniform", "zipf", "clustered"}
 	validOrders = []string{"adversarial", "random"}
+	validCodecs = []string{"scb2", "scb1", "text"}
 )
 
 // validateChoice checks one enum-valued flag, returning a usage-style
@@ -27,14 +28,20 @@ func validateChoice(flagName, val string, valid []string) error {
 	return fmt.Errorf("unknown -%s %q (valid: %s)", flagName, val, strings.Join(valid, ", "))
 }
 
-// validateFlags rejects unknown -algo/-gen/-order values. gen is only
-// validated when it will be used (no -in file).
-func validateFlags(algo, gen, order, in string) error {
+// validateFlags rejects unknown -algo/-gen/-order/-to values. gen is only
+// validated when it will be used (no -in file), and -to only when
+// -convert is in play.
+func validateFlags(algo, gen, order, in, convert, to string) error {
 	if err := validateChoice("algo", algo, validAlgos); err != nil {
 		return err
 	}
 	if in == "" {
 		if err := validateChoice("gen", gen, validGens); err != nil {
+			return err
+		}
+	}
+	if convert != "" {
+		if err := validateChoice("to", to, validCodecs); err != nil {
 			return err
 		}
 	}

@@ -7,9 +7,9 @@ import (
 
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
-		name                 string
-		algo, gen, order, in string
-		wantErr              string // substring; "" means valid
+		name                              string
+		algo, gen, order, in, convert, to string
+		wantErr                           string // substring; "" means valid
 	}{
 		{name: "defaults", algo: "alg1", gen: "planted", order: "adversarial"},
 		{name: "all algos", algo: "exact", gen: "zipf", order: "random"},
@@ -32,10 +32,21 @@ func TestValidateFlags(t *testing.T) {
 			wantErr: "adversarial, random"},
 		{name: "empty algo", algo: "", gen: "planted", order: "adversarial",
 			wantErr: "unknown -algo"},
+
+		{name: "convert scb2", algo: "alg1", gen: "planted", order: "adversarial",
+			convert: "out.scb2", to: "scb2"},
+		{name: "convert text", algo: "alg1", gen: "planted", order: "adversarial",
+			convert: "out.sc", to: "text"},
+		{name: "bad convert codec", algo: "alg1", gen: "planted", order: "adversarial",
+			convert: "out.bin", to: "msgpack", wantErr: `unknown -to "msgpack"`},
+		{name: "bad codec lists choices", algo: "alg1", gen: "planted", order: "adversarial",
+			convert: "out.bin", to: "msgpack", wantErr: "scb2, scb1, text"},
+		{name: "to ignored without convert", algo: "alg1", gen: "planted", order: "adversarial",
+			to: "msgpack"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.algo, tc.gen, tc.order, tc.in)
+			err := validateFlags(tc.algo, tc.gen, tc.order, tc.in, tc.convert, tc.to)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

@@ -10,6 +10,7 @@
 //	hardgen -kind sc -n 4096 -m 32 -alpha 2 -theta 1 -seed 7 > hard.sc
 //	hardgen -kind mc -m 32 -eps 0.125 -theta 0 > hard.mc
 //	hardgen -kind sc -n 65536 -m 256 -format binary > hard.scb
+//	hardgen -kind sc -n 65536 -m 256 -format scb2 > hard.scb2
 package main
 
 import (
@@ -31,15 +32,15 @@ func main() {
 		eps    = flag.Float64("eps", 0.125, "hardness parameter ε (mc only)")
 		theta  = flag.Int("theta", 1, "planted bit θ ∈ {0,1}")
 		seed   = flag.Uint64("seed", 1, "random seed")
-		format = flag.String("format", "text", "output format: text or binary")
+		format = flag.String("format", "text", "output format: text, binary (SCB1), or scb2 (mmap-native)")
 	)
 	flag.Parse()
 	if *theta != 0 && *theta != 1 {
 		fmt.Fprintln(os.Stderr, "hardgen: -theta must be 0 or 1")
 		os.Exit(2)
 	}
-	if *format != "text" && *format != "binary" {
-		fmt.Fprintf(os.Stderr, "hardgen: unknown -format %q (want text or binary)\n", *format)
+	if *format != "text" && *format != "binary" && *format != "scb2" {
+		fmt.Fprintf(os.Stderr, "hardgen: unknown -format %q (want text, binary, or scb2)\n", *format)
 		os.Exit(2)
 	}
 
@@ -47,18 +48,24 @@ func main() {
 	defer w.Flush()
 
 	// Ground-truth annotations ride in the text stream as comments; the
-	// binary format has no comment channel, so they go to stderr instead.
+	// binary formats have no comment channel, so they go to stderr instead.
 	emit := func(inst *streamcover.Instance, header func(io.Writer)) {
-		if *format == "binary" {
-			header(os.Stderr)
-			if err := streamcover.WriteInstanceBinary(w, inst); err != nil {
+		var encode func(io.Writer, *streamcover.Instance) error
+		switch *format {
+		case "binary":
+			encode = streamcover.WriteInstanceBinary
+		case "scb2":
+			encode = streamcover.WriteInstanceSCB2
+		default:
+			header(w)
+			if err := streamcover.WriteInstance(w, inst); err != nil {
 				fmt.Fprintf(os.Stderr, "hardgen: %v\n", err)
 				os.Exit(1)
 			}
 			return
 		}
-		header(w)
-		if err := streamcover.WriteInstance(w, inst); err != nil {
+		header(os.Stderr)
+		if err := encode(w, inst); err != nil {
 			fmt.Fprintf(os.Stderr, "hardgen: %v\n", err)
 			os.Exit(1)
 		}

@@ -12,12 +12,14 @@ import (
 	"streamcover/internal/stream"
 )
 
-// TestSolveParityAcrossStreamBackends is the acceptance check of the CSR
+// TestSolveParityAcrossStreamBackends is the acceptance check of the
 // data plane: for a fixed seed, Algorithm 1 run over an in-memory
-// InstanceStream, a text FileStream, and a binary BinaryFileStream produces
-// the bit-identical outcome — cover, winning guess, feasibility, passes,
-// items and peak space — at parallelism 1, 4 and GOMAXPROCS. The stream
-// backend and the worker count change wall-clock time and nothing else.
+// InstanceStream, a text FileStream, a binary BinaryFileStream, an
+// SCB2 file decoded onto the heap, and an SCB2 file mmap'd zero-copy all
+// produce the bit-identical outcome — cover, winning guess, feasibility,
+// passes, items and peak space — at parallelism 1, 4 and GOMAXPROCS. The
+// stream backend and the worker count change wall-clock time and nothing
+// else.
 func TestSolveParityAcrossStreamBackends(t *testing.T) {
 	inst, _ := GeneratePlanted(21, 1024, 128, 4)
 	dir := t.TempDir()
@@ -41,6 +43,16 @@ func TestSolveParityAcrossStreamBackends(t *testing.T) {
 		t.Fatal(err)
 	}
 	bf.Close()
+
+	mpath := filepath.Join(dir, "inst.scb2")
+	mf, err := os.Create(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteInstanceSCB2(mf, inst); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
 
 	type outcome struct {
 		res core.Result
@@ -85,6 +97,30 @@ func TestSolveParityAcrossStreamBackends(t *testing.T) {
 			fs, err := stream.OpenBinaryFile(bpath)
 			if err != nil {
 				t.Fatal(err)
+			}
+			return fs, func() { fs.Close() }
+		}},
+		// SCB2 decoded onto the heap (the upload/ReadAuto path)…
+		{"scb2-heap", func() (stream.Stream, func()) {
+			f, err := os.Open(mpath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			heap, err := ReadInstance(f)
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return stream.FromInstance(heap, stream.Adversarial, nil), func() {}
+		}},
+		// …and SCB2 mmap'd zero-copy (the stream.Open/coverd -load path).
+		{"scb2-mmap", func() (stream.Stream, func()) {
+			fs, err := stream.Open(mpath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := fs.(*stream.MappedFileStream); !ok {
+				t.Fatalf("stream.Open(%s) = %T, want MappedFileStream", mpath, fs)
 			}
 			return fs, func() { fs.Close() }
 		}},

@@ -5,12 +5,16 @@
 // deduplicated by content hash (setsystem.Hash), so re-uploading the same
 // instance — the common case for a fleet of clients solving one workload —
 // costs nothing beyond hashing the bytes. Every entry is charged its
-// estimated heap footprint (setsystem.SizeBytes) against the budget;
-// admitting a new instance evicts least-recently-used unpinned entries
-// until it fits, and fails with ErrBudget when pinned entries (instances
-// with in-flight solve jobs) leave no room. The invariant is strict:
-// resident bytes never exceed the budget, so a coverd process sized to its
-// container cannot be OOM-killed by uploads.
+// resident footprint against the budget: heap-backed instances their
+// estimated heap size (setsystem.SizeBytes), mmap-backed SCB2 instances
+// their mapped file size (the pages the mapping can keep resident) —
+// the split is visible as HeapBytes/MappedBytes in Stats, and mapped
+// entries never count toward heap accounting. Admitting a new instance
+// evicts least-recently-used unpinned entries until it fits — evicting a
+// mapped entry unmaps its file — and fails with ErrBudget when pinned
+// entries (instances with in-flight solve jobs) leave no room. The
+// invariant is strict: resident bytes never exceed the budget, so a
+// coverd process sized to its container cannot be OOM-killed by uploads.
 //
 // Pinning is how the scheduler keeps an instance alive across a job's
 // queue-to-completion lifetime: Acquire returns the instance plus a release
@@ -20,9 +24,11 @@
 package registry
 
 import (
+	"bytes"
 	"container/list"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 
@@ -54,18 +60,21 @@ type Config struct {
 type Registry struct {
 	mu        sync.Mutex
 	budget    int64
-	resident  int64
+	resident  int64 // heap + mapped, the quantity the budget bounds
+	heap      int64
+	mapped    int64
 	entries   map[string]*entry
 	lru       *list.List // front = most recently used
 	evictions uint64
 }
 
 type entry struct {
-	hash  string
-	inst  *setsystem.Instance
-	bytes int64
-	pins  int
-	elem  *list.Element
+	hash   string
+	inst   *setsystem.Instance
+	bytes  int64
+	mapped bool // charged to the mapped ledger; eviction unmaps
+	pins   int
+	elem   *list.Element
 }
 
 // New returns an empty registry with the configured budget.
@@ -81,9 +90,25 @@ func New(cfg Config) *Registry {
 // hash, whether the instance was newly added (false = dedup hit, which
 // refreshes the entry's recency), and ErrBudget when it cannot fit. The
 // registry retains the instance; callers must not mutate it afterwards.
+// A mapped instance (setsystem.Map) is charged its mapped file size and
+// unmapped when evicted; on a dedup hit the registry does NOT adopt the
+// caller's mapping — the caller still owns it.
 func (r *Registry) Put(inst *setsystem.Instance) (hash string, added bool, err error) {
+	return r.admit(inst)
+}
+
+// instSize is the footprint an instance is charged: mapped file size for
+// mmap-backed instances, estimated heap size otherwise.
+func instSize(inst *setsystem.Instance) (size int64, mapped bool) {
+	if mb := inst.MappedBytes(); mb > 0 {
+		return mb, true
+	}
+	return setsystem.SizeBytes(inst), false
+}
+
+func (r *Registry) admit(inst *setsystem.Instance) (hash string, added bool, err error) {
 	hash = setsystem.Hash(inst)
-	size := setsystem.SizeBytes(inst)
+	size, mapped := instSize(inst)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if e, ok := r.entries[hash]; ok {
@@ -94,26 +119,51 @@ func (r *Registry) Put(inst *setsystem.Instance) (hash string, added bool, err e
 		return hash, false, fmt.Errorf("%w: need %d bytes, budget %d, %d resident (pinned entries are not evictable)",
 			ErrBudget, size, r.budget, r.resident)
 	}
-	e := &entry{hash: hash, inst: inst, bytes: size}
+	e := &entry{hash: hash, inst: inst, bytes: size, mapped: mapped}
 	e.elem = r.lru.PushFront(e)
 	r.entries[hash] = e
 	r.resident += size
+	if mapped {
+		r.mapped += size
+	} else {
+		r.heap += size
+	}
 	return hash, true, nil
 }
 
-// LoadFile reads an instance file (either codec, auto-detected) and admits
-// it as Put does.
+// LoadFile admits an instance file. SCB2 files are opened through
+// setsystem.Map — zero-copy on supporting hosts, so the entry costs
+// mapped (page cache) bytes, not heap, and loading is O(pages touched)
+// rather than O(decode) — while SCB1 and text files decode onto the heap
+// as before. On a dedup hit the fresh mapping is released immediately.
 func (r *Registry) LoadFile(path string) (hash string, added bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return "", false, err
 	}
+	head := make([]byte, len(setsystem.SCB2Magic()))
+	_, rerr := io.ReadFull(f, head)
+	if rerr == nil && bytes.Equal(head, setsystem.SCB2Magic()) {
+		f.Close()
+		inst, err := setsystem.Map(path)
+		if err != nil {
+			return "", false, fmt.Errorf("registry: %w", err)
+		}
+		hash, added, err = r.admit(inst)
+		if err != nil || !added {
+			inst.Unmap()
+		}
+		return hash, added, err
+	}
 	defer f.Close()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return "", false, err
+	}
 	inst, err := setsystem.ReadAuto(f)
 	if err != nil {
 		return "", false, fmt.Errorf("registry: %s: %w", path, err)
 	}
-	return r.Put(inst)
+	return r.admit(inst)
 }
 
 // evictFor drops unpinned LRU entries until size more bytes fit under the
@@ -142,10 +192,20 @@ func (r *Registry) oldestUnpinned() *entry {
 	return nil
 }
 
+// remove drops an entry; evicting a mapped entry releases its mapping
+// (safe: eviction only ever selects unpinned entries, and the instance
+// contract is that callers hold instances only while pinned). Caller
+// holds r.mu.
 func (r *Registry) remove(e *entry) {
 	r.lru.Remove(e.elem)
 	delete(r.entries, e.hash)
 	r.resident -= e.bytes
+	if e.mapped {
+		r.mapped -= e.bytes
+		e.inst.Unmap()
+	} else {
+		r.heap -= e.bytes
+	}
 }
 
 // Acquire looks up an instance by hash, refreshes its recency, and pins it
@@ -192,6 +252,8 @@ func (r *Registry) Stats() Stats {
 	return Stats{
 		Instances:     len(r.entries),
 		ResidentBytes: r.resident,
+		HeapBytes:     r.heap,
+		MappedBytes:   r.mapped,
 		BudgetBytes:   r.budget,
 		Evictions:     r.evictions,
 	}
@@ -208,7 +270,10 @@ func (r *Registry) Snapshot() []InstanceInfo {
 	out := make([]InstanceInfo, 0, len(r.entries))
 	for el := r.lru.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*entry)
-		out = append(out, InstanceInfo{Hash: e.hash, N: e.inst.N, M: e.inst.M(), Bytes: e.bytes})
+		out = append(out, InstanceInfo{
+			Hash: e.hash, N: e.inst.N, M: e.inst.M(), Bytes: e.bytes,
+			Backing: e.inst.Backing().String(),
+		})
 	}
 	return out
 }

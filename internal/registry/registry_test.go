@@ -160,3 +160,137 @@ func TestLoadFileBothCodecs(t *testing.T) {
 		t.Fatalf("file hash differs from in-memory hash")
 	}
 }
+
+// writeSCB2File stages an SCB2 file for the mmap LoadFile path.
+func writeSCB2File(t *testing.T, inst *setsystem.Instance) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "inst.scb2")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setsystem.WriteSCB2(f, inst); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadFileSCB2MappedAccounting pins the heap/mapped ledger split: an
+// SCB2 LoadFile charges mapped bytes (the file size the mapping can keep
+// resident), never heap bytes — mmap entries do not burn heap budget.
+func TestLoadFileSCB2MappedAccounting(t *testing.T) {
+	if !setsystem.MapSupported() {
+		t.Skip("no zero-copy mapping on this host")
+	}
+	inst := setsystem.Uniform(rng.New(8), 256, 24, 4, 16)
+	path := writeSCB2File(t, inst)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := New(Config{})
+	hash, added, err := r.LoadFile(path)
+	if err != nil || !added {
+		t.Fatalf("scb2 load: added=%v err=%v", added, err)
+	}
+	st := r.Stats()
+	if st.HeapBytes != 0 {
+		t.Fatalf("mapped entry charged %d heap bytes; mmap entries must not burn heap budget", st.HeapBytes)
+	}
+	if st.MappedBytes != fi.Size() {
+		t.Fatalf("mapped_bytes = %d, file is %d", st.MappedBytes, fi.Size())
+	}
+	if st.ResidentBytes != st.HeapBytes+st.MappedBytes {
+		t.Fatalf("resident %d != heap %d + mapped %d", st.ResidentBytes, st.HeapBytes, st.MappedBytes)
+	}
+
+	// The snapshot reports the backing, and the entry is solvable: Acquire
+	// hands out the mapped instance like any other.
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Backing != "mapped" || snap[0].Bytes != fi.Size() {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	got, release, err := r.Acquire(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Backing() != setsystem.BackingMapped || setsystem.Hash(got) != setsystem.Hash(inst) {
+		t.Fatalf("acquired instance backing=%v", got.Backing())
+	}
+	release()
+
+	// An upload of the same content dedups against the mapped entry.
+	if _, added, err := r.Put(inst.Clone()); err != nil || added {
+		t.Fatalf("heap twin should dedup against mapped entry: added=%v err=%v", added, err)
+	}
+	if st := r.Stats(); st.HeapBytes != 0 || st.Instances != 1 {
+		t.Fatalf("dedup changed the ledgers: %+v", st)
+	}
+}
+
+// TestMappedEvictionUnmaps pins the eviction lifecycle: budget pressure
+// evicts the LRU mapped entry and releases its mapping (the mapped ledger
+// returns to zero), while the heap ledger picks up the new entry.
+func TestMappedEvictionUnmaps(t *testing.T) {
+	if !setsystem.MapSupported() {
+		t.Skip("no zero-copy mapping on this host")
+	}
+	inst := setsystem.Uniform(rng.New(9), 256, 24, 4, 16)
+	path := writeSCB2File(t, inst)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	big := setsystem.Uniform(rng.New(10), 512, 64, 8, 32)
+	bigSize := setsystem.SizeBytes(big)
+	// Budget fits either entry alone, never both.
+	budget := fi.Size() + bigSize - 1
+	if budget < fi.Size() || budget < bigSize {
+		t.Fatalf("fixture sizes too small for the squeeze: file=%d big=%d", fi.Size(), bigSize)
+	}
+	r := New(Config{BudgetBytes: budget})
+	mappedHash, added, err := r.LoadFile(path)
+	if err != nil || !added {
+		t.Fatalf("scb2 load: added=%v err=%v", added, err)
+	}
+	if _, added, err := r.Put(big); err != nil || !added {
+		t.Fatalf("heap put: added=%v err=%v", added, err)
+	}
+	st := r.Stats()
+	if st.Evictions != 1 || st.Instances != 1 {
+		t.Fatalf("want the mapped entry evicted, got %+v", st)
+	}
+	if st.MappedBytes != 0 {
+		t.Fatalf("eviction left %d mapped bytes — the mapping was not released", st.MappedBytes)
+	}
+	if st.HeapBytes != bigSize || st.ResidentBytes != bigSize {
+		t.Fatalf("heap ledger off: %+v (want %d)", st, bigSize)
+	}
+	if _, _, err := r.Acquire(mappedHash); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("evicted mapped entry still acquirable: %v", err)
+	}
+}
+
+// TestLoadFileSCB2Dedup pins that a second LoadFile of the same SCB2 file
+// releases its fresh mapping instead of leaking it (the ledger must not
+// double-charge).
+func TestLoadFileSCB2Dedup(t *testing.T) {
+	inst := setsystem.Uniform(rng.New(11), 128, 12, 2, 8)
+	path := writeSCB2File(t, inst)
+	r := New(Config{})
+	if _, added, err := r.LoadFile(path); err != nil || !added {
+		t.Fatalf("first load: added=%v err=%v", added, err)
+	}
+	before := r.Stats()
+	if _, added, err := r.LoadFile(path); err != nil || added {
+		t.Fatalf("second load: added=%v err=%v", added, err)
+	}
+	if after := r.Stats(); after != before {
+		t.Fatalf("dedup load changed stats: %+v -> %+v", before, after)
+	}
+}

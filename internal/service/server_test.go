@@ -227,6 +227,14 @@ func TestHealthAndStats(t *testing.T) {
 	if st.Registry.Instances != 1 || len(st.Instances) != 1 || st.Instances[0].Hash != hash {
 		t.Fatalf("registry stats %+v / %+v", st.Registry, st.Instances)
 	}
+	// The resident-bytes split is part of the wire contract: an uploaded
+	// (heap-decoded) instance is all heap, no mapped bytes.
+	if st.Registry.HeapBytes != st.Registry.ResidentBytes || st.Registry.MappedBytes != 0 {
+		t.Fatalf("heap/mapped split off for a heap entry: %+v", st.Registry)
+	}
+	if st.Instances[0].Backing != "heap" {
+		t.Fatalf("instance backing = %q, want heap", st.Instances[0].Backing)
+	}
 	if st.Scheduler.PeakSpaceWords <= 0 {
 		t.Fatalf("peak space words not tracked: %+v", st.Scheduler)
 	}

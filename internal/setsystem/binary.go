@@ -98,7 +98,12 @@ func ReadBinary(r io.Reader) (*Instance, error) {
 	for _, l := range lens {
 		total += int(l)
 	}
-	b.Grow(m, total)
+	// The header's total is untrusted until the payload backs it up: a tiny
+	// file can claim a multi-terabyte arena (small m, huge per-set lengths),
+	// so cap the upfront reservation and let append grow with the varints
+	// actually decoded — a truncated payload then errors long before the
+	// claimed size is ever allocated.
+	b.Grow(min(m, readChunkPrealloc), min(total, readChunkPrealloc))
 	for i := 0; i < m; i++ {
 		prev := int32(-1)
 		for j := int32(0); j < lens[i]; j++ {
@@ -146,9 +151,13 @@ func ReadBinaryHeader(br io.ByteReader) (n, m int, lens []int32, err error) {
 		return 0, 0, nil, fmt.Errorf("setsystem: binary header dimensions overflow (n=%d m=%d)", un, um)
 	}
 	n, m = int(un), int(um)
-	lens = make([]int32, m)
+	// m is untrusted: a five-byte header can claim 2^31 sets. Each claimed
+	// length still costs at least one payload byte, so growing the table
+	// with append bounds the allocation by the input actually present
+	// instead of the claim.
+	lens = make([]int32, 0, min(m, readChunkPrealloc))
 	var total uint64
-	for i := range lens {
+	for i := 0; i < m; i++ {
 		l, err := binary.ReadUvarint(br)
 		if err != nil {
 			return 0, 0, nil, fmt.Errorf("setsystem: binary length table: %w", err)
@@ -156,7 +165,7 @@ func ReadBinaryHeader(br io.ByteReader) (n, m int, lens []int32, err error) {
 		if l > uint64(n) {
 			return 0, 0, nil, fmt.Errorf("setsystem: set %d length %d exceeds universe %d", i, l, n)
 		}
-		lens[i] = int32(l)
+		lens = append(lens, int32(l))
 		total += l
 	}
 	if total != utotal {

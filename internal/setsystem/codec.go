@@ -110,13 +110,20 @@ func Read(r io.Reader) (*Instance, error) {
 	return in, nil
 }
 
-// ReadAuto decodes an instance from either codec, sniffing the binary magic
-// bytes first.
+// ReadAuto decodes an instance from any codec — SCB1 varint binary, SCB2
+// mmap-native binary, or text — sniffing the leading magic bytes. The SCB2
+// path decodes into the heap (uploads and pipes have no file to map; use
+// Map for the zero-copy open).
 func ReadAuto(r io.Reader) (*Instance, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(len(binaryMagic))
-	if err == nil && string(head) == binaryMagic {
-		return ReadBinary(br)
+	if err == nil {
+		switch string(head) {
+		case binaryMagic:
+			return ReadBinary(br)
+		case scb2Magic:
+			return ReadSCB2(br)
+		}
 	}
 	return Read(br)
 }

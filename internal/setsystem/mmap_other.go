@@ -1,0 +1,18 @@
+//go:build !unix
+
+package setsystem
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapAvailable reports that this build has no mmap; Map falls back to the
+// heap decoder (ReadSCB2) and never calls these stubs.
+const mmapAvailable = false
+
+func mmapFile(_ *os.File, _ int) ([]byte, error) {
+	return nil, errors.New("setsystem: mmap is not available on this platform")
+}
+
+func munmapFile(_ []byte) error { return nil }

@@ -1,0 +1,26 @@
+//go:build unix
+
+package setsystem
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapAvailable reports that this build has a real mmap syscall.
+const mmapAvailable = true
+
+// mmapFile maps size bytes of f read-only. MAP_PRIVATE is equivalent to
+// MAP_SHARED for a PROT_READ mapping and keeps the mapping immune to
+// concurrent writers growing the file.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

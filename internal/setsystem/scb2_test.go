@@ -1,0 +1,287 @@
+package setsystem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"streamcover/internal/rng"
+)
+
+// instancesEqual compares two instances by content (n + sequence of sets).
+func instancesEqual(a, b *Instance) bool {
+	if a.N != b.N || a.M() != b.M() {
+		return false
+	}
+	for i := 0; i < a.M(); i++ {
+		if !reflect.DeepEqual(a.Set(i), b.Set(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+func writeSCB2File(t *testing.T, in *Instance) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "inst.scb2")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSCB2(f, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSCB2RoundTrip(t *testing.T) {
+	cases := map[string]*Instance{
+		"zipf":    Zipf(rng.New(3), 512, 64, 1.4, 128),
+		"uniform": Uniform(rng.New(4), 100, 20, 1, 30),
+		"empty":   {N: 7},
+		"single":  FromSets(5, [][]int{{0, 2, 4}}),
+		"emptysets": func() *Instance {
+			in := FromSets(4, [][]int{{}, {1, 3}, {}})
+			return in
+		}(),
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteSCB2(&buf, in); err != nil {
+				t.Fatal(err)
+			}
+			// Alignment spec: both sections 64-byte aligned, header exact.
+			if got := buf.Bytes(); string(got[:4]) != scb2Magic {
+				t.Fatalf("magic = %q", got[:4])
+			}
+			elemsOff := binary.LittleEndian.Uint64(buf.Bytes()[40:])
+			if elemsOff%scb2Align != 0 {
+				t.Fatalf("elems section at %d not %d-byte aligned", elemsOff, scb2Align)
+			}
+			if int64(buf.Len()) != int64(binary.LittleEndian.Uint64(buf.Bytes()[48:])) {
+				t.Fatalf("file size %d != header fileSize", buf.Len())
+			}
+
+			dec, err := ReadSCB2(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !instancesEqual(in, dec) {
+				t.Fatal("heap decode does not round-trip")
+			}
+			if dec.Backing() != BackingHeap || dec.MappedBytes() != 0 {
+				t.Fatal("ReadSCB2 must produce a heap instance")
+			}
+
+			// ReadAuto dispatches on the SCB2 magic too.
+			auto, err := ReadAuto(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !instancesEqual(in, auto) {
+				t.Fatal("ReadAuto(scb2) does not round-trip")
+			}
+		})
+	}
+}
+
+func TestMapRoundTrip(t *testing.T) {
+	in := Zipf(rng.New(9), 1024, 128, 1.3, 200)
+	path := writeSCB2File(t, in)
+	mapped, err := Map(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Unmap()
+	if !instancesEqual(in, mapped) {
+		t.Fatal("mapped instance differs from source")
+	}
+	if MapSupported() {
+		if mapped.Backing() != BackingMapped {
+			t.Fatalf("Backing() = %v, want mapped", mapped.Backing())
+		}
+		fi, _ := os.Stat(path)
+		if mapped.MappedBytes() != fi.Size() {
+			t.Fatalf("MappedBytes() = %d, file is %d", mapped.MappedBytes(), fi.Size())
+		}
+	}
+	// Hash identity holds across backings: the registry dedups a mapped
+	// load against a heap upload of the same content.
+	if Hash(mapped) != Hash(in) {
+		t.Fatal("mapped instance hashes differently from its heap twin")
+	}
+	// Clone detaches to the heap.
+	cl := mapped.Clone()
+	if cl.Backing() != BackingHeap {
+		t.Fatal("Clone of a mapped instance must be heap-backed")
+	}
+	if err := mapped.Unmap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.Unmap(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if !instancesEqual(in, cl) {
+		t.Fatal("clone invalidated by Unmap")
+	}
+}
+
+func TestMapRejectsCorruptFiles(t *testing.T) {
+	// Fixed sets so each mutation below is guaranteed to break an
+	// invariant (the last set has two ascending elements, etc.).
+	in := FromSets(64, [][]int{{0, 5, 9}, {1, 2, 3, 63}, {7, 8}})
+	var buf bytes.Buffer
+	if err := WriteSCB2(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			data := mutate(append([]byte(nil), good...))
+			path := filepath.Join(t.TempDir(), "bad.scb2")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if inst, err := Map(path); err == nil {
+				inst.Unmap()
+				t.Fatal("Map accepted a corrupt file")
+			}
+			if inst, err := ReadSCB2(bytes.NewReader(data)); err == nil {
+				_ = inst
+				t.Fatal("ReadSCB2 accepted a corrupt file")
+			}
+		})
+	}
+
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)-3] })
+	corrupt("bad-magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	corrupt("reserved-set", func(b []byte) []byte { b[60] = 1; return b })
+	corrupt("offsets-decrease", func(b []byte) []byte {
+		// Swap the last two offsets entries so the table decreases.
+		off := int(binary.LittleEndian.Uint64(b[32:]))
+		m := int(binary.LittleEndian.Uint64(b[16:]))
+		binary.LittleEndian.PutUint64(b[off+8*(m-1):], 1<<30)
+		return b
+	})
+	corrupt("element-out-of-range", func(b []byte) []byte {
+		elemsOff := int(binary.LittleEndian.Uint64(b[40:]))
+		binary.LittleEndian.PutUint32(b[elemsOff:], 1<<20) // >> n
+		return b
+	})
+	corrupt("unsorted-set", func(b []byte) []byte {
+		// Make some set's elements non-increasing by zeroing the last one.
+		binary.LittleEndian.PutUint32(b[len(b)-4:], 0)
+		return b
+	})
+	corrupt("file-size-lie", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[48:], uint64(len(b)+64))
+		return b
+	})
+}
+
+// TestMapAllocsIndependentOfSize is the acceptance guard for the zero-copy
+// claim: opening an SCB2 mapping allocates O(1) — the instance header and
+// mapping bookkeeping — regardless of how many sets or elements the file
+// holds. A decode pass would show up here as per-set or per-element
+// allocations.
+func TestMapAllocsIndependentOfSize(t *testing.T) {
+	if !MapSupported() {
+		t.Skip("no zero-copy mapping on this host")
+	}
+	small := writeSCB2File(t, Uniform(rng.New(1), 256, 16, 1, 32))
+	large := writeSCB2File(t, Uniform(rng.New(2), 8192, 2048, 16, 128))
+
+	allocs := func(path string) float64 {
+		return testing.AllocsPerRun(10, func() {
+			in, err := Map(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in.Unmap()
+		})
+	}
+	a, b := allocs(small), allocs(large)
+	if b > a {
+		t.Fatalf("Map allocations grow with instance size: small=%v large=%v", a, b)
+	}
+	if a > 32 {
+		t.Fatalf("Map of a small instance costs %v allocations; want O(1)", a)
+	}
+}
+
+// Load-time benchmarks behind `make bench-json` (BENCH_datasets.json):
+// decoding SCB1 pays per set and per element; mapping SCB2 pays a header
+// read, the mmap, and one validation scan — no decode, O(1) allocations.
+
+func benchInstance() *Instance {
+	return Zipf(rng.New(11), 1<<14, 1<<11, 1.3, 1<<10)
+}
+
+func BenchmarkLoadSCB1Decode(b *testing.B) {
+	in := benchInstance()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, in); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadSCB2HeapDecode(b *testing.B) {
+	in := benchInstance()
+	var buf bytes.Buffer
+	if err := WriteSCB2(&buf, in); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadSCB2(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadSCB2Map(b *testing.B) {
+	if !MapSupported() {
+		b.Skip("no zero-copy mapping on this host")
+	}
+	in := benchInstance()
+	path := filepath.Join(b.TempDir(), "bench.scb2")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteSCB2(f, in); err != nil {
+		b.Fatal(err)
+	}
+	f.Close()
+	fi, _ := os.Stat(path)
+	b.SetBytes(fi.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, err := Map(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst.Unmap()
+	}
+}

@@ -39,6 +39,13 @@ type Instance struct {
 
 	offsets []int   // len M()+1 when sets exist; offsets[0] == 0
 	elems   []int32 // flat element arena
+
+	// Mapped instances (Map) view an mmap'd SCB2 file instead of owning
+	// heap arrays; see Backing/MappedBytes/Unmap in mmap.go. The zero
+	// values describe an ordinary heap instance.
+	backing     Backing
+	mappedBytes int64
+	unmap       func() error
 }
 
 // FromSets builds an instance over [0, n) from a slice of sets, copying the
@@ -143,7 +150,9 @@ func (in *Instance) Coverable() bool {
 	return cov.Count() == in.N
 }
 
-// Clone returns a deep copy of the instance.
+// Clone returns a deep copy of the instance. The copy is always
+// heap-backed, so cloning is also how a caller detaches from a mapped
+// instance before its mapping goes away.
 func (in *Instance) Clone() *Instance {
 	return &Instance{
 		N:       in.N,

@@ -138,20 +138,33 @@ type FileBacked interface {
 	io.Closer
 }
 
-// Open returns a multi-pass stream over an instance file in either codec,
-// sniffing the binary magic bytes to pick the decoder. The caller must
-// Close the stream when done.
+// Open returns a multi-pass stream over an instance file in any codec,
+// sniffing the leading magic bytes: SCB1 streams through the varint
+// decoder, SCB2 opens as an mmap-backed instance view, and anything else
+// falls back to the text scanner. The caller must Close the stream when
+// done.
+//
+// A file too short to hold any codec magic cannot be a valid instance in
+// any format (the shortest text header, "setcover 0 0", is 12 bytes), so
+// Open rejects it up front with a recognizable error instead of letting a
+// decoder surface a raw EOF.
 func Open(path string) (FileBacked, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	magic := setsystem.BinaryMagic()
-	head := make([]byte, len(magic))
-	_, rerr := io.ReadFull(f, head)
+	head := make([]byte, len(setsystem.BinaryMagic()))
+	n, rerr := io.ReadFull(f, head)
 	f.Close()
-	if rerr == nil && bytes.Equal(head, magic) {
+	if rerr != nil {
+		return nil, fmt.Errorf("stream: %s: unrecognized instance file (empty or too short for any codec: %d bytes)",
+			path, n)
+	}
+	switch {
+	case bytes.Equal(head, setsystem.BinaryMagic()):
 		return OpenBinaryFile(path)
+	case bytes.Equal(head, setsystem.SCB2Magic()):
+		return OpenMapped(path)
 	}
 	return OpenFile(path)
 }

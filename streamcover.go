@@ -296,10 +296,12 @@ func GenerateClustered(seed uint64, n, m, clusters, setSize int) *Instance {
 	return setsystem.Clustered(rng.New(seed), n, m, clusters, setSize, 0.1)
 }
 
-// ReadInstance decodes an instance from either on-disk codec, sniffing the
-// binary magic bytes: the text format ("setcover n m" header, then one
-// "id e1 e2 ..." line per set) or the binary format (magic + header +
-// per-set lengths + varint-delta element payload).
+// ReadInstance decodes an instance from any on-disk codec, sniffing the
+// leading magic bytes: the text format ("setcover n m" header, then one
+// "id e1 e2 ..." line per set), the SCB1 binary format (magic + header +
+// per-set lengths + varint-delta element payload), or the SCB2 mmap-native
+// format (decoded onto the heap here; use MapInstanceFile for the
+// zero-copy open).
 func ReadInstance(r io.Reader) (*Instance, error) { return setsystem.ReadAuto(r) }
 
 // WriteInstance encodes an instance in the text format.
@@ -311,6 +313,19 @@ func WriteInstance(w io.Writer, inst *Instance) error { return setsystem.Write(w
 // must be normalized. Multi-pass streaming consumers should prefer this
 // format: cmd/covercli streams either format straight from disk.
 func WriteInstanceBinary(w io.Writer, inst *Instance) error { return setsystem.WriteBinary(w, inst) }
+
+// WriteInstanceSCB2 encodes an instance in the SCB2 mmap-native format:
+// fixed-width little-endian CSR sections, 64-byte aligned, so the file can
+// back an Instance directly through an mmap view with no decode pass. The
+// instance must be normalized. Larger on disk than the SCB1 varint codec,
+// but opening is O(pages touched) instead of O(decode).
+func WriteInstanceSCB2(w io.Writer, inst *Instance) error { return setsystem.WriteSCB2(w, inst) }
+
+// MapInstanceFile opens an SCB2 file as an instance backed directly by the
+// mapped file pages (zero-copy; falls back to a heap decode on hosts
+// without mmap support — check inst.Backing()). The caller must Unmap the
+// instance when done with it.
+func MapInstanceFile(path string) (*Instance, error) { return setsystem.Map(path) }
 
 // Stats summarizes an instance.
 type Stats = setsystem.Stats
