@@ -5,15 +5,20 @@ GO ?= go
 
 # Benchmarks whose B/op and allocs/op we track across PRs: the end-to-end
 # solvers, the codec/stream data plane, and the word-parallel observe-plane
-# kernels (run-based Observe, sieve grid, exact sub-solve).
-BENCH_PATTERN ?= BenchmarkSolve|BenchmarkGreedySetCover|BenchmarkCodec|BenchmarkStream|BenchmarkObserveRuns|BenchmarkSieveGrid|BenchmarkExactSubsolve
+# kernels (run-based Observe, sieve grid, exact sub-solve, and the
+# bit-sliced grid kernel under each dispatch body).
+BENCH_PATTERN ?= BenchmarkSolve|BenchmarkGreedySetCover|BenchmarkCodec|BenchmarkStream|BenchmarkObserveRuns|BenchmarkSieveGrid|BenchmarkExactSubsolve|BenchmarkGridAndCountRuns
 # Packages holding tracked benchmarks (the root API plus the internal hot
 # paths the observe-plane benchmarks live next to).
-BENCH_PKGS ?= . ./internal/core ./internal/maxcover ./internal/offline
+BENCH_PKGS ?= . ./internal/bitset ./internal/core ./internal/maxcover ./internal/offline
 BENCH_JSON ?= BENCH_masks.json
 # The committed baseline the bench-compare target diffs against (recorded
 # by the CSR data-plane PR, before the word-parallel observe plane).
 BENCH_BASELINE ?= BENCH_csr.json
+# The pre-bit-slicing recording (per-guess strided probe loops), re-recorded
+# on the same machine as BENCH_JSON so the grid-kernel delta artifact is a
+# same-box comparison.
+BENCH_GRID_BASELINE ?= BENCH_masks_scalar.json
 
 # Dataset-plane load benchmarks: decoding SCB1 vs mmap-opening SCB2 (the
 # zero-copy path must stay allocation-O(1) in instance size).
@@ -58,10 +63,13 @@ bench-json:
 	$(GO) test -json -run '^$$' -bench '$(DATASET_BENCH_PATTERN)' -benchmem ./internal/setsystem > $(DATASET_BENCH_JSON)
 	@echo "wrote $(DATASET_BENCH_JSON)"
 
-## bench-compare: diff the fresh recording against the committed baseline
-## (informational; never fails on a regression)
+## bench-compare: diff the fresh recording against the committed baselines
+## (informational; never fails on a regression). bench-delta.txt tracks the
+## long-running CSR baseline; bench-delta-grid.txt isolates the bit-sliced
+## grid kernels against the pre-bit-slicing per-guess recording.
 bench-compare: bench-json
 	$(GO) run ./cmd/benchcmp $(BENCH_BASELINE) $(BENCH_JSON) | tee bench-delta.txt
+	$(GO) run ./cmd/benchcmp $(BENCH_GRID_BASELINE) $(BENCH_JSON) | tee bench-delta-grid.txt
 
 ## serve-smoke: end-to-end coverd check — start the daemon on a random
 ## port, upload a hardgen instance, solve remotely, diff against the

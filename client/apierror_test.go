@@ -1,0 +1,34 @@
+package client
+
+import "testing"
+
+// TestAPIErrorDecode pins the shared non-2xx decode helper both do and
+// Watch route through: service-shaped JSON bodies yield the error field,
+// anything else (proxy text, truncated JSON, empty bodies) yields the
+// trimmed raw body.
+func TestAPIErrorDecode(t *testing.T) {
+	cases := []struct {
+		name    string
+		status  int
+		body    string
+		wantMsg string
+	}{
+		{"service json", 404, `{"error":"service: unknown job id"}`, "service: unknown job id"},
+		{"json empty error field", 500, `{"error":""}`, `{"error":""}`},
+		{"json other shape", 400, `{"message":"nope"}`, `{"message":"nope"}`},
+		{"plain text", 502, "bad gateway\n", "bad gateway"},
+		{"truncated json", 500, `{"error":"cut`, `{"error":"cut`},
+		{"empty body", 429, "", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := apiError(tc.status, []byte(tc.body))
+			if err.StatusCode != tc.status {
+				t.Fatalf("StatusCode = %d, want %d", err.StatusCode, tc.status)
+			}
+			if err.Message != tc.wantMsg {
+				t.Fatalf("Message = %q, want %q", err.Message, tc.wantMsg)
+			}
+		})
+	}
+}

@@ -20,6 +20,7 @@ type APIError struct {
 	Message    string
 }
 
+// Error formats the status code and server message.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("coverd: HTTP %d: %s", e.StatusCode, e.Message)
 }
@@ -67,11 +68,7 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, co
 		return err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var e ErrorResponse
-		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
-		}
-		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+		return apiError(resp.StatusCode, raw)
 	}
 	if out == nil {
 		return nil
@@ -80,6 +77,18 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, co
 		return fmt.Errorf("coverd: undecodable response %q: %w", raw, err)
 	}
 	return nil
+}
+
+// apiError turns a non-2xx response body into an *APIError: the message is
+// the body's {"error": ...} field when it parses as the service's error
+// shape, and the trimmed raw body otherwise (proxies and middleware answer
+// with plain text).
+func apiError(statusCode int, body []byte) *APIError {
+	var e ErrorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return &APIError{StatusCode: statusCode, Message: e.Error}
+	}
+	return &APIError{StatusCode: statusCode, Message: strings.TrimSpace(string(body))}
 }
 
 func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
@@ -171,11 +180,7 @@ func (c *Client) Watch(ctx context.Context, id string, onUpdate func(Job)) (Job,
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		raw, _ := io.ReadAll(resp.Body)
-		var e ErrorResponse
-		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return Job{}, &APIError{StatusCode: resp.StatusCode, Message: e.Error}
-		}
-		return Job{}, &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+		return Job{}, apiError(resp.StatusCode, raw)
 	}
 	var last Job
 	seen := false

@@ -1,0 +1,59 @@
+package bitset
+
+import "unsafe"
+
+// archHasAVX2 reports whether this CPU and OS support AVX2: CPUID leaf 7
+// AVX2, CPUID leaf 1 OSXSAVE+AVX, and XCR0 confirming the OS preserves
+// XMM+YMM state across context switches.
+var archHasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 { // XMM and YMM state enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+// runWordOffset and runMaskOffset pin the Run field layout the assembly
+// body hard-codes (Word at 0, Mask at 8, 16-byte entries); the compile-time
+// assertions below fail the build if the struct ever moves.
+const (
+	runSize       = unsafe.Sizeof(Run{})
+	runMaskOffset = unsafe.Offsetof(Run{}.Mask)
+)
+
+var (
+	_ [1]struct{} = [runSize - 15]struct{}{}      // require Sizeof(Run) == 16
+	_ [1]struct{} = [runMaskOffset - 7]struct{}{} // require Offsetof(Mask) == 8
+)
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+//
+//go:noescape
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register XCR0.
+//
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// gridAndCountRunsAVX2 is the AVX2 body of Grid.AndCountRuns: for each
+// 4-lane column of the grid it accumulates one 256-bit popcount vector over
+// all runs (the Muła nibble-LUT VPSHUFB + VPSADBW reduction), then folds it
+// into counts. Requires stride % 4 == 0 and nruns ≥ 1; bit-exact with
+// gridAndCountRunsScalar.
+//
+//go:noescape
+func gridAndCountRunsAVX2(words *uint64, stride int, runs *Run, nruns int, counts *int64)

@@ -1,0 +1,93 @@
+// AVX2 body of Grid.AndCountRuns plus the CPUID/XGETBV probes behind its
+// dispatch. See grid_kernel_amd64.go for the Go declarations and DESIGN.md
+// §2.7 for the kernel contract.
+
+#include "textflag.h"
+
+// 16-entry nibble popcount table, repeated across both 128-bit halves so
+// VPSHUFB looks it up in every byte lane.
+DATA popctab<>+0x00(SB)/8, $0x0302020102010100
+DATA popctab<>+0x08(SB)/8, $0x0403030203020201
+DATA popctab<>+0x10(SB)/8, $0x0302020102010100
+DATA popctab<>+0x18(SB)/8, $0x0403030203020201
+GLOBL popctab<>(SB), RODATA|NOPTR, $32
+
+DATA nibmask<>+0x00(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibmask<>+0x08(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibmask<>+0x10(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibmask<>+0x18(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibmask<>(SB), RODATA|NOPTR, $32
+
+// func gridAndCountRunsAVX2(words *uint64, stride int, runs *Run, nruns int, counts *int64)
+//
+// Outer loop: 4-lane columns of the grid (stride must be a multiple of 4).
+// Inner loop: the run list; each iteration broadcasts the run mask, ANDs it
+// with the 4 lane words of the run's row, popcounts the 4 qwords via the
+// Muła nibble LUT, and accumulates into a YMM register of 4 int64 counts.
+// Keeping the accumulator live across the whole run list means one
+// load+store of counts per column, not per run.
+TEXT ·gridAndCountRunsAVX2(SB), NOSPLIT, $0-40
+	MOVQ  words+0(FP), SI
+	MOVQ  stride+8(FP), DX
+	MOVQ  runs+16(FP), BX
+	MOVQ  nruns+24(FP), CX
+	MOVQ  counts+32(FP), DI
+	TESTQ CX, CX
+	JZ    done
+	VMOVDQU popctab<>(SB), Y15
+	VMOVDQU nibmask<>(SB), Y14
+	VPXOR   Y13, Y13, Y13       // zero, for the VPSADBW reduction
+	SHLQ  $3, DX                // DX = row size in bytes (stride words)
+	XORQ  R10, R10              // byte offset of the current 4-lane column
+
+laneloop:
+	VPXOR Y0, Y0, Y0            // per-column count accumulator (4×int64)
+	MOVQ  BX, R11               // run cursor
+	MOVQ  CX, R12               // runs remaining
+	LEAQ  (SI)(R10*1), R13      // column base: words + column offset
+
+runloop:
+	MOVLQSX (R11), R8           // r.Word (int32)
+	IMULQ   DX, R8              // byte offset of the run's row
+	VPBROADCASTQ 8(R11), Y3     // r.Mask in all 4 qwords
+	VPAND   (R13)(R8*1), Y3, Y1 // 4 lane words ∩ mask
+	VPAND   Y1, Y14, Y2         // low nibbles
+	VPSRLQ  $4, Y1, Y1
+	VPAND   Y1, Y14, Y1         // high nibbles
+	VPSHUFB Y2, Y15, Y2         // per-byte popcount of low nibbles
+	VPSHUFB Y1, Y15, Y1         // per-byte popcount of high nibbles
+	VPADDB  Y2, Y1, Y1          // per-byte popcount
+	VPSADBW Y13, Y1, Y1         // horizontal sum per qword
+	VPADDQ  Y1, Y0, Y0
+	ADDQ    $16, R11            // next Run (16 bytes)
+	DECQ    R12
+	JNZ     runloop
+
+	VPADDQ  (DI)(R10*1), Y0, Y0 // counts[col..col+4] += accumulator
+	VMOVDQU Y0, (DI)(R10*1)
+	ADDQ    $32, R10            // next 4-lane column (4 qwords)
+	CMPQ    R10, DX
+	JB      laneloop
+	VZEROUPPER
+
+done:
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

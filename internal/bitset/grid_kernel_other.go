@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package bitset
+
+// archHasAVX2 is false off amd64: only the pure-Go scalar kernel body
+// exists, and the dispatch switch can never select AVX2.
+const archHasAVX2 = false
+
+// gridAndCountRunsAVX2 is unreachable off amd64 (the dispatch guard checks
+// archHasAVX2 first); the stub exists so grid.go compiles everywhere.
+func gridAndCountRunsAVX2(words *uint64, stride int, runs *Run, nruns int, counts *int64) {
+	panic("bitset: AVX2 kernel body called on a non-amd64 build")
+}

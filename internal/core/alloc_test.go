@@ -33,7 +33,7 @@ func TestObserveSubtractAllocFree(t *testing.T) {
 	const n = 1000
 	a := NewRun(n, 64, 1, Config{Alpha: 2, Epsilon: 0.5}, rng.New(1))
 	a.BeginPass(0)
-	a.phase = phaseSubtract
+	a.g.phase = phaseSubtract
 	a.chosen[7] = true
 	item := stream.Item{ID: 7, Elems: []int32{1, 5, 9, 400, 999}}
 	other := stream.Item{ID: 8, Elems: []int32{2, 6}}
@@ -60,7 +60,7 @@ func TestObserveAllocFreeWithSharedRuns(t *testing.T) {
 	if allocs > 0 {
 		t.Fatalf("prune-phase Observe with shared runs allocates %.2f objects/item", allocs)
 	}
-	a.phase = phaseSubtract
+	a.g.phase = phaseSubtract
 	a.chosen[7] = true
 	allocs = testing.AllocsPerRun(500, func() { a.Observe(item) })
 	if allocs > 0 {
@@ -71,10 +71,11 @@ func TestObserveAllocFreeWithSharedRuns(t *testing.T) {
 func TestObserveStoreSteadyStateAllocFree(t *testing.T) {
 	const n = 1000
 	a := NewRun(n, 64, 1, Config{Alpha: 2, Epsilon: 0.5}, rng.New(1))
-	a.phase = phaseStore
-	a.usmpl = bitset.New(n)
+	a.g.phase = phaseStore
+	a.g.sole = a.lane // the one-live-lane fallback, as a real pass would set
+	a.g.usmpl = bitset.NewGrid(n, 1)
 	for _, e := range []int{1, 9, 400} {
-		a.usmpl.Set(e)
+		a.g.usmpl.Set(a.lane, e)
 		a.usmplCnt++
 	}
 	a.projOffs = append(a.projOffs, 0)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"streamcover/internal/bitset"
@@ -14,11 +15,21 @@ import (
 // n/(ε·õpt) is far above the set sizes, so every item is counted against
 // the uncovered bitset and none is taken: the steady-state probe workload.
 //
-// "shared" items carry the producer-built word-mask run list, exactly what
-// both grid drivers attach (the cost of building it is paid once per item
-// per pass and amortized over all ~20 guesses, so it is deliberately
-// outside this loop); "scalar" items have no run list and take the
-// element-at-a-time fallback a lone Run driven by stream.Run uses.
+// Sub-benchmarks, from one to many guesses:
+//
+//   - "shared": a lone 1-lane run observing items that carry the
+//     producer-built word-mask run list, exactly what both grid drivers
+//     attach (the build cost is paid once per item per pass and amortized
+//     over all guesses, so it is deliberately outside this loop);
+//   - "scalar": the same lone run on items without a run list — the
+//     element-at-a-time fallback a Run driven alone by stream.Run uses;
+//   - "grid16": a 16-guess GridRun group — the bit-sliced sweep, one
+//     interleaved Grid.AndCountRuns per item feeding all 16 threshold
+//     tests, under whichever kernel body (scalar/AVX2) is active;
+//   - "perguess16": the same 16 guesses as 16 separate 1-lane runs — the
+//     pre-grid layout, one strided probe loop per guess per item. The
+//     grid16/perguess16 ratio is the bit-slicing win recorded in
+//     BENCH_masks.json.
 func BenchmarkObserveRuns(b *testing.B) {
 	inst := setsystem.Uniform(rng.New(1), 1<<14, 512, 256, 768)
 	items := make([]stream.Item, inst.M())
@@ -29,10 +40,42 @@ func BenchmarkObserveRuns(b *testing.B) {
 		runArena = bitset.AppendRuns(runArena, elems)
 		items[j] = stream.Item{ID: j, Elems: elems, Runs: runArena[start:len(runArena):len(runArena)]}
 	}
-	for _, mode := range []string{"shared", "scalar"} {
+	const lanes = 16
+	guesses := make([]int, lanes)
+	for i := range guesses {
+		guesses[i] = 8
+	}
+	for _, mode := range []string{"shared", "scalar", "grid16", "perguess16"} {
 		b.Run(mode, func(b *testing.B) {
-			a := NewRun(inst.N, inst.M(), 8, Config{Alpha: 2, Epsilon: 0.5}, rng.New(2))
-			a.BeginPass(0)
+			cfg := Config{Alpha: 2, Epsilon: 0.5}
+			var observe func(item stream.Item)
+			switch mode {
+			case "grid16":
+				rngs := make([]*rng.RNG, lanes)
+				root := rng.New(2)
+				for i := range rngs {
+					rngs[i] = root.Split(fmt.Sprintf("guess-%d", i))
+				}
+				g := NewGridRun(inst.N, inst.M(), guesses, cfg, rngs)
+				g.BeginPass(0)
+				observe = g.Observe
+			case "perguess16":
+				runs := make([]*Run, lanes)
+				root := rng.New(2)
+				for i := range runs {
+					runs[i] = NewRun(inst.N, inst.M(), 8, cfg, root.Split(fmt.Sprintf("guess-%d", i)))
+					runs[i].BeginPass(0)
+				}
+				observe = func(item stream.Item) {
+					for _, a := range runs {
+						a.Observe(item)
+					}
+				}
+			default:
+				a := NewRun(inst.N, inst.M(), 8, cfg, rng.New(2))
+				a.BeginPass(0)
+				observe = a.Observe
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -40,7 +83,7 @@ func BenchmarkObserveRuns(b *testing.B) {
 					if mode == "scalar" {
 						item.Runs = nil
 					}
-					a.Observe(item)
+					observe(item)
 				}
 			}
 		})

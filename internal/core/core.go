@@ -20,7 +20,10 @@
 //
 // Since the correct õpt is unknown, Solve runs a (1+ε)-geometric grid of
 // guesses in parallel over the same passes (the standard guessing trick the
-// paper invokes) and returns the smallest feasible cover.
+// paper invokes) and returns the smallest feasible cover. The guesses of
+// one worker share a bit-sliced uncovered grid (GridRun over bitset.Grid),
+// so the hot prune-phase count probes all of them in one interleaved sweep
+// per streamed set; see DESIGN.md §2.7.
 package core
 
 import (
@@ -146,23 +149,31 @@ type Result struct {
 	Err      error // sub-solver failure (e.g. node budget exceeded)
 }
 
-// Run is the single-guess Algorithm 1 as a stream.PassAlgorithm.
+// Run is the single-guess Algorithm 1. Every Run is a lane of a GridRun —
+// the group that owns the bit-sliced uncovered/sample bitsets and drives
+// the shared pass state machine; a standalone Run (NewRun) is the lane of
+// a 1-lane group, whose grid layout is byte-identical to a dense bitset.
+//
+// Run implements stream.PassAlgorithm by delegating to its group, so
+// existing single-guess call sites (stream.Run(st, run, ...)) are
+// unchanged. Do not drive a lane of a multi-lane group directly — drive
+// the GridRun; the per-lane accessors (Result, UncoveredHistory,
+// PrunePicked) are always safe.
 //
 // Pass layout: pass 0 prunes; then iteration j ∈ [0,α) uses pass 2j+1 to
-// store sampled projections and pass 2j+2 to subtract the sub-cover. The
-// run finishes early once the uncovered set is empty.
+// store sampled projections and pass 2j+2 to subtract the sub-cover. A
+// lane finishes early once its uncovered set is empty.
 type Run struct {
 	cfg  Config
 	n, m int
 	opt  int // the õpt guess
 	r    *rng.RNG
 
-	phase    phase
-	iter     int
-	u        *bitset.Bitset // uncovered elements
-	uCount   int
-	usmpl    *bitset.Bitset // current sample (subset of u)
-	usmplCnt int
+	g    *GridRun // owning group
+	lane int      // this run's lane in g
+
+	uCount   int // |U| for this lane
+	usmplCnt int // |sample| for this lane
 	// Stored projections, in CSR form mirroring setsystem.Instance: one flat
 	// element arena plus offsets, so the store-pass Observe path appends to
 	// two flat slices (amortized allocation-free) instead of allocating one
@@ -196,15 +207,73 @@ const (
 	phaseDone
 )
 
-// NewRun returns a single-guess Algorithm 1 over a universe of size n with
-// m sets, guessing õpt = optGuess. The RNG drives element sampling.
-func NewRun(n, m, optGuess int, cfg Config, r *rng.RNG) *Run {
-	c := cfg.withDefaults()
-	if optGuess < 1 {
-		optGuess = 1
+// GridRun runs a group of single-guess Algorithm 1 lanes in pass lockstep
+// over one bit-sliced bitset.Grid: lane g's uncovered (and sample) bitset
+// is lane g of the grid, so the prune-phase count — the hottest loop in the
+// solver — probes every live guess with one interleaved sweep per streamed
+// set (Grid.AndCountRuns, the dispatched scalar/AVX2 kernel) instead of one
+// strided pass per guess.
+//
+// All lanes share the phase schedule (every guess of Algorithm 1 uses the
+// same pass layout), so the group is a single stream.PassAlgorithm; lanes
+// that finish early are skipped (their state frozen) until the whole group
+// is done. Grouping is invisible in results and accounting: each lane's
+// RNG, decisions, and Space contribution are exactly those of a standalone
+// Run, so any partition of a guess grid into groups — including the
+// per-worker partition NewSolver picks — is bit-identical to per-guess runs
+// (the masks_parity goldens pin this).
+type GridRun struct {
+	cfg  Config
+	n, m int
+
+	runs  []*Run
+	phase phase
+	iter  int
+	live  int // lanes not yet done
+	sole  int // the single live lane when live == 1, else -1 (set per pass)
+
+	u          *bitset.Grid // uncovered elements, one lane per guess
+	usmpl      *bitset.Grid // current samples (lane-wise subsets of u)
+	counts     []int64      // AndCountRuns accumulator, grid width
+	runScratch []bitset.Run // per-item run list when no driver prefilled one
+}
+
+// NewGridRun returns the bit-sliced group of one Algorithm 1 lane per
+// guess, all over a universe of size n with m sets. rngs must have one
+// entry per guess; each lane samples from its own RNG, so grouping does not
+// perturb per-guess determinism. Guesses below 1 are clamped to 1.
+func NewGridRun(n, m int, guesses []int, cfg Config, rngs []*rng.RNG) *GridRun {
+	if len(guesses) == 0 {
+		panic("core: GridRun needs at least one guess")
 	}
-	return &Run{cfg: c, n: n, m: m, opt: optGuess, r: r,
-		chosen: map[int]bool{}, solSet: map[int]bool{}}
+	if len(guesses) != len(rngs) {
+		panic(fmt.Sprintf("core: %d guesses but %d RNGs", len(guesses), len(rngs)))
+	}
+	c := cfg.withDefaults()
+	g := &GridRun{cfg: c, n: n, m: m, sole: -1}
+	g.runs = make([]*Run, len(guesses))
+	for i, opt := range guesses {
+		if opt < 1 {
+			opt = 1
+		}
+		g.runs[i] = &Run{cfg: c, n: n, m: m, opt: opt, r: rngs[i],
+			g: g, lane: i, chosen: map[int]bool{}, solSet: map[int]bool{}}
+	}
+	return g
+}
+
+// Lanes returns the number of guesses in the group.
+func (g *GridRun) Lanes() int { return len(g.runs) }
+
+// Lane returns the single-guess run occupying lane i.
+func (g *GridRun) Lane(i int) *Run { return g.runs[i] }
+
+// NewRun returns a single-guess Algorithm 1 over a universe of size n with
+// m sets, guessing õpt = optGuess. The RNG drives element sampling. The
+// returned Run is the lane of a fresh 1-lane GridRun, so driving it costs
+// exactly what the pre-grid dense-bitset run cost.
+func NewRun(n, m, optGuess int, cfg Config, r *rng.RNG) *Run {
+	return NewGridRun(n, m, []int{optGuess}, cfg, []*rng.RNG{r}).Lane(0)
 }
 
 // sampleRate returns p = C·õpt·ln(m)/n^{1−β}, clamped to [0,1], where β is
@@ -230,156 +299,268 @@ func (a *Run) pruneThreshold() float64 {
 	return float64(a.n) / (a.cfg.Epsilon * float64(a.opt))
 }
 
-// BeginPass implements stream.PassAlgorithm.
-func (a *Run) BeginPass(pass int) {
+// BeginPass implements stream.PassAlgorithm for the group.
+func (g *GridRun) BeginPass(pass int) {
 	switch {
 	case pass == 0:
-		a.u = bitset.New(a.n)
-		a.u.Fill()
-		a.uCount = a.n
-		if a.cfg.DisablePrune {
-			a.beginStorePass()
-		} else {
-			a.phase = phasePrune
+		g.u = bitset.NewGrid(g.n, len(g.runs))
+		g.counts = g.u.MakeCounts()
+		for lane, a := range g.runs {
+			g.u.Fill(lane)
+			a.uCount = g.n
 		}
-	case a.done:
-		a.phase = phaseDone
-	case a.phase == phasePrune || a.phase == phaseSubtract:
-		a.beginStorePass()
-	case a.phase == phaseStore:
-		a.phase = phaseSubtract
-	}
-}
-
-// beginStorePass starts the next iteration by sampling the uncovered
-// universe at the configured rate.
-func (a *Run) beginStorePass() {
-	a.phase = phaseStore
-	if a.usmpl == nil {
-		a.usmpl = bitset.New(a.n)
-	} else {
-		a.usmpl.Reset()
-	}
-	a.usmplCnt = 0
-	p := a.sampleRate()
-	a.u.Range(func(e int) bool {
-		if a.r.Bernoulli(p) {
-			a.usmpl.Set(e)
-			a.usmplCnt++
-		}
-		return true
-	})
-	a.projIDs = a.projIDs[:0]
-	a.projOffs = append(a.projOffs[:0], 0)
-	a.projElems = a.projElems[:0]
-}
-
-// Observe implements stream.PassAlgorithm. This is the per-item hot path:
-// when the driver attached the item's shared word-mask run list (both grid
-// drivers do, once per item per pass), every phase probes it against the
-// uncovered/sample bitsets — one AND+popcount per occupied word instead of
-// one branchy probe per element. Items without runs (a lone Run driven
-// directly by stream.Run) keep the scalar loops: building a run list for a
-// single consumer costs more than one probe loop, so the word-parallel
-// path is taken exactly when the build is amortized. Both paths compute
-// identical results (the bitset property tests and the scalar-golden parity
-// tests pin this) and allocate nothing in the prune and subtract phases
-// (the store phase appends to the flat projection arena, amortized
-// allocation-free once the arena has grown).
-func (a *Run) Observe(item stream.Item) {
-	switch a.phase {
-	case phasePrune:
-		cnt := 0
-		if item.Runs != nil {
-			cnt = a.u.AndCountRuns(item.Runs)
+		g.live = len(g.runs)
+		if g.cfg.DisablePrune {
+			g.beginStorePass()
 		} else {
-			for _, e := range item.Elems {
-				if a.u.Has(int(e)) {
-					cnt++
-				}
+			g.phase = phasePrune
+		}
+	case g.live == 0:
+		g.phase = phaseDone
+	case g.phase == phasePrune || g.phase == phaseSubtract:
+		g.beginStorePass()
+	case g.phase == phaseStore:
+		g.phase = phaseSubtract
+	}
+	// live only changes at EndPass, so the sole-live-lane shortcut the
+	// Observe fallbacks use is stable for the whole pass.
+	g.sole = -1
+	if g.live == 1 {
+		for lane, a := range g.runs {
+			if !a.done {
+				g.sole = lane
+				break
 			}
 		}
-		if cnt > 0 && float64(cnt) >= a.pruneThreshold() {
-			a.takeSet(item.ID)
-			a.prunePicked++
-			a.subtract(item)
+	}
+}
+
+// BeginPass implements stream.PassAlgorithm by delegating to the group.
+func (a *Run) BeginPass(pass int) { a.g.BeginPass(pass) }
+
+// beginStorePass starts the next iteration by sampling each live lane's
+// uncovered universe at its configured rate.
+func (g *GridRun) beginStorePass() {
+	g.phase = phaseStore
+	if g.usmpl == nil {
+		g.usmpl = bitset.NewGrid(g.n, len(g.runs))
+	}
+	for lane, a := range g.runs {
+		if a.done {
+			continue
+		}
+		g.usmpl.Reset(lane)
+		a.usmplCnt = 0
+		p := a.sampleRate()
+		g.u.Range(lane, func(e int) bool {
+			if a.r.Bernoulli(p) {
+				g.usmpl.Set(lane, e)
+				a.usmplCnt++
+			}
+			return true
+		})
+		a.projIDs = a.projIDs[:0]
+		a.projOffs = append(a.projOffs[:0], 0)
+		a.projElems = a.projElems[:0]
+	}
+}
+
+// Observe implements stream.PassAlgorithm for the group. This is the
+// per-item hot path. With more than one live lane the item's word-mask run
+// list (prefilled by the driver, or built here once into group scratch) is
+// swept across the whole grid: the prune phase is one interleaved
+// Grid.AndCountRuns — the dispatched scalar/AVX2 kernel — feeding every
+// lane's threshold test, and the store/subtract phases use the strided
+// single-lane kernels per live lane. With exactly one live lane the group
+// degenerates to the pre-grid behavior: kernels when the driver shipped
+// runs, scalar element loops otherwise (building a run list for a single
+// consumer costs more than one probe loop, so the word-parallel path is
+// taken exactly when the build is amortized). All paths compute identical
+// results (the grid parity property tests and the scalar-golden parity
+// tests pin this) and allocate nothing in the prune and subtract phases
+// (the store phase appends to the flat projection arenas, amortized
+// allocation-free once the arenas have grown).
+func (g *GridRun) Observe(item stream.Item) {
+	switch g.phase {
+	case phasePrune:
+		if g.sole >= 0 {
+			g.lanePrune(g.sole, item)
+			return
+		}
+		var runs []bitset.Run
+		runs, g.runScratch = item.RunsInto(g.runScratch)
+		counts := g.counts
+		for i := range counts {
+			counts[i] = 0
+		}
+		g.u.AndCountRuns(runs, counts)
+		for lane, a := range g.runs {
+			if a.done {
+				continue
+			}
+			if cnt := counts[lane]; cnt > 0 && float64(cnt) >= a.pruneThreshold() {
+				a.takeSet(item.ID)
+				a.prunePicked++
+				a.uCount -= g.u.LaneAndNotRuns(lane, runs)
+			}
 		}
 	case phaseStore:
-		start := len(a.projElems)
-		if item.Runs != nil {
-			a.projElems = a.usmpl.AndRunsAppend(a.projElems, item.Runs)
-		} else {
-			for _, e := range item.Elems {
-				if a.usmpl.Has(int(e)) {
-					a.projElems = append(a.projElems, e)
-				}
+		if g.sole >= 0 {
+			g.laneStore(g.sole, item)
+			return
+		}
+		var runs []bitset.Run
+		runs, g.runScratch = item.RunsInto(g.runScratch)
+		for lane, a := range g.runs {
+			if a.done {
+				continue
+			}
+			start := len(a.projElems)
+			a.projElems = g.usmpl.LaneAndRunsAppend(lane, a.projElems, runs)
+			if len(a.projElems) > start {
+				a.projIDs = append(a.projIDs, item.ID)
+				a.projOffs = append(a.projOffs, len(a.projElems))
 			}
 		}
-		if len(a.projElems) > start {
-			a.projIDs = append(a.projIDs, item.ID)
-			a.projOffs = append(a.projOffs, len(a.projElems))
-		}
 	case phaseSubtract:
-		if a.chosen[item.ID] {
-			a.subtract(item)
+		if g.sole >= 0 {
+			if g.runs[g.sole].chosen[item.ID] {
+				g.laneSubtract(g.sole, item)
+			}
+			return
+		}
+		// Probe the (tiny) chosen maps before paying for a runs build: at
+		// most õpt sets per lane are subtracted per pass.
+		need := false
+		for _, a := range g.runs {
+			if !a.done && a.chosen[item.ID] {
+				need = true
+				break
+			}
+		}
+		if !need {
+			return
+		}
+		var runs []bitset.Run
+		runs, g.runScratch = item.RunsInto(g.runScratch)
+		for lane, a := range g.runs {
+			if !a.done && a.chosen[item.ID] {
+				a.uCount -= g.u.LaneAndNotRuns(lane, runs)
+			}
 		}
 	}
 }
 
-// subtract removes the item's elements from the uncovered set, keeping
-// uCount in sync via the kernel's popcount delta (or the scalar loop when
-// the item carries no shared run list).
-func (a *Run) subtract(item stream.Item) {
+// Observe implements stream.PassAlgorithm by delegating to the group.
+func (a *Run) Observe(item stream.Item) { a.g.Observe(item) }
+
+// lanePrune is the one-live-lane prune fallback: kernel probe when the
+// driver shipped runs, scalar element loop otherwise.
+func (g *GridRun) lanePrune(lane int, item stream.Item) {
+	a := g.runs[lane]
+	cnt := 0
 	if item.Runs != nil {
-		a.uCount -= a.u.AndNotRuns(item.Runs)
+		cnt = g.u.LaneAndCountRuns(lane, item.Runs)
+	} else {
+		cnt = g.u.LaneCountElems(lane, item.Elems)
+	}
+	if cnt > 0 && float64(cnt) >= a.pruneThreshold() {
+		a.takeSet(item.ID)
+		a.prunePicked++
+		g.laneSubtract(lane, item)
+	}
+}
+
+// laneStore is the one-live-lane store fallback.
+func (g *GridRun) laneStore(lane int, item stream.Item) {
+	a := g.runs[lane]
+	start := len(a.projElems)
+	if item.Runs != nil {
+		a.projElems = g.usmpl.LaneAndRunsAppend(lane, a.projElems, item.Runs)
+	} else {
+		a.projElems = g.usmpl.LaneFilterElemsAppend(lane, a.projElems, item.Elems)
+	}
+	if len(a.projElems) > start {
+		a.projIDs = append(a.projIDs, item.ID)
+		a.projOffs = append(a.projOffs, len(a.projElems))
+	}
+}
+
+// laneSubtract removes the item's elements from the lane's uncovered set,
+// keeping uCount in sync via the kernel's popcount delta (or the scalar
+// loop when the item carries no run list).
+func (g *GridRun) laneSubtract(lane int, item stream.Item) {
+	a := g.runs[lane]
+	if item.Runs != nil {
+		a.uCount -= g.u.LaneAndNotRuns(lane, item.Runs)
 		return
 	}
-	for _, e := range item.Elems {
-		if a.u.Has(int(e)) {
-			a.u.Clear(int(e))
-			a.uCount--
-		}
-	}
+	a.uCount -= g.u.LaneClearElems(lane, item.Elems)
 }
 
-// EndPass implements stream.PassAlgorithm.
-func (a *Run) EndPass() bool {
-	switch a.phase {
+// EndPass implements stream.PassAlgorithm for the group; done means every
+// lane has finished.
+func (g *GridRun) EndPass() bool {
+	switch g.phase {
 	case phasePrune:
-		a.uncovHistory = append(a.uncovHistory, a.uCount)
-		if a.uCount == 0 {
-			a.done = true
+		for _, a := range g.runs {
+			if a.done {
+				continue
+			}
+			a.uncovHistory = append(a.uncovHistory, a.uCount)
+			if a.uCount == 0 {
+				g.laneDone(a)
+			}
 		}
 	case phaseStore:
-		a.solveSample()
-		if a.failed {
-			a.done = true
+		for _, a := range g.runs {
+			if a.done {
+				continue
+			}
+			a.solveSample()
+			if a.failed {
+				g.laneDone(a)
+			}
 		}
 	case phaseSubtract:
-		for _, id := range a.pending {
-			a.takeSet(id)
+		next := g.iter + 1
+		for _, a := range g.runs {
+			if a.done {
+				continue
+			}
+			for _, id := range a.pending {
+				a.takeSet(id)
+			}
+			a.pending = nil
+			a.chosen = map[int]bool{}
+			a.freeProjections()
+			a.uncovHistory = append(a.uncovHistory, a.uCount)
+			if a.uCount == 0 {
+				g.laneDone(a)
+			} else if next >= a.cfg.iterations() {
+				// Iterations exhausted with uncovered elements left: this guess
+				// failed (õpt too small for the sampling to succeed).
+				a.failed = true
+				g.laneDone(a)
+			}
 		}
-		a.pending = nil
-		a.chosen = map[int]bool{}
-		a.freeProjections()
-		a.iter++
-		a.uncovHistory = append(a.uncovHistory, a.uCount)
-		if a.uCount == 0 {
-			a.done = true
-		} else if a.iter >= a.cfg.iterations() {
-			// Iterations exhausted with uncovered elements left: this guess
-			// failed (õpt too small for the sampling to succeed).
-			a.failed = true
-			a.done = true
-		}
+		g.iter = next
 	case phaseDone:
 		// nothing to do; stay done
 	}
-	return a.done
+	return g.live == 0
 }
 
-// solveSample covers the sampled universe with the configured sub-solver
-// and records the chosen set IDs for the subtraction pass.
+// EndPass implements stream.PassAlgorithm by delegating to the group.
+func (a *Run) EndPass() bool { return a.g.EndPass() }
+
+func (g *GridRun) laneDone(a *Run) {
+	a.done = true
+	g.live--
+}
+
+// solveSample covers the lane's sampled universe with the configured
+// sub-solver and records the chosen set IDs for the subtraction pass.
 func (a *Run) solveSample() {
 	if a.usmplCnt == 0 {
 		// Nothing sampled (tiny U or p rounding): the iteration is a no-op.
@@ -387,7 +568,7 @@ func (a *Run) solveSample() {
 	}
 	// Remap sampled elements to a compact universe [0, usmplCnt).
 	remap := make(map[int32]int32, a.usmplCnt)
-	a.usmpl.Range(func(e int) bool {
+	a.g.usmpl.Range(a.lane, func(e int) bool {
 		remap[int32(e)] = int32(len(remap))
 		return true
 	})
@@ -405,14 +586,18 @@ func (a *Run) solveSample() {
 	var picked []int
 	switch a.cfg.Subsolver {
 	case SubsolverGreedy:
-		cover, err := offline.Greedy(sub)
+		cover, err := offline.GreedyContext(a.cfg.Context, sub)
 		if err != nil {
+			if err != offline.ErrInfeasible {
+				a.err = err
+			}
 			a.failed = true
 			return
 		}
 		picked = cover
 	default:
-		cover, ok, err := offline.CoverAtMost(sub, a.opt, offline.ExactConfig{NodeBudget: a.cfg.NodeBudget})
+		cover, ok, err := offline.CoverAtMost(sub, a.opt,
+			offline.ExactConfig{NodeBudget: a.cfg.NodeBudget, Context: a.cfg.Context})
 		if err != nil {
 			a.err = err
 			a.failed = true
@@ -452,17 +637,27 @@ func (a *Run) freeProjections() {
 	a.usmplCnt = 0
 }
 
-// Space implements stream.PassAlgorithm. The uncovered bitset is charged at
-// n words (one flag per universe element, the paper's O(n) term); stored
-// projections are charged one word per retained set ID and element ID.
-func (a *Run) Space() int {
-	sp := len(a.sol) + len(a.pending)
-	if a.u != nil {
-		sp += a.n
+// Space implements stream.PassAlgorithm for the group: the sum of the
+// lanes' footprints, each charged exactly as a standalone run — the
+// uncovered lane at n words (one flag per universe element, the paper's
+// O(n) term), stored projections at one word per retained set ID and
+// element ID. Finished lanes keep paying for what they retain.
+func (g *GridRun) Space() int {
+	sp := 0
+	for _, a := range g.runs {
+		sp += len(a.sol) + len(a.pending)
+		if g.u != nil {
+			sp += a.n
+		}
+		sp += a.usmplCnt + len(a.projIDs) + len(a.projElems)
 	}
-	sp += a.usmplCnt + len(a.projIDs) + len(a.projElems)
 	return sp
 }
+
+// Space implements stream.PassAlgorithm by delegating to the group (for a
+// standalone Run the group is its 1-lane group, so this is the run's own
+// footprint).
+func (a *Run) Space() int { return a.g.Space() }
 
 // UncoveredHistory returns |U| after the prune pass and after each
 // sample/solve/subtract iteration — the empirical Lemma 3.11 decay trace.
@@ -525,8 +720,13 @@ func Guesses(n int, eps float64) []int {
 
 // Solver runs Algorithm 1 for every õpt guess in parallel over the shared
 // passes, as the paper prescribes, and reports the smallest feasible cover.
+// The guesses are partitioned contiguously into one GridRun group per
+// worker, so each worker sweeps its guesses' uncovered bitsets with the
+// interleaved grid kernel; the partition is invisible in results and
+// accounting (see GridRun).
 type Solver struct {
 	*stream.Parallel
+	groups  []*GridRun
 	runs    []*Run
 	workers int
 	ctx     context.Context
@@ -540,23 +740,40 @@ func NewSolver(n, m int, cfg Config, r *rng.RNG) *Solver {
 	if len(guesses) == 0 {
 		guesses = Guesses(n, c.Epsilon)
 	}
-	runs := make([]*Run, len(guesses))
-	algs := make([]stream.PassAlgorithm, len(guesses))
+	// Split the per-guess RNGs in guess order, before grouping: Split
+	// advances the parent RNG, so the split order is part of the seed
+	// contract and must not depend on the worker count.
+	rngs := make([]*rng.RNG, len(guesses))
 	for i, g := range guesses {
-		runs[i] = NewRun(n, m, g, c, r.Split(fmt.Sprintf("guess-%d", g)))
-		algs[i] = runs[i]
+		rngs[i] = r.Split(fmt.Sprintf("guess-%d", g))
 	}
-	return &Solver{Parallel: stream.NewParallel(algs...), runs: runs, workers: c.Workers, ctx: c.Context}
+	ng := min(parallel.Workers(c.Workers), len(guesses))
+	if ng < 1 {
+		ng = 1
+	}
+	groups := make([]*GridRun, ng)
+	algs := make([]stream.PassAlgorithm, ng)
+	runs := make([]*Run, 0, len(guesses))
+	for gi := range groups {
+		lo, hi := gi*len(guesses)/ng, (gi+1)*len(guesses)/ng
+		groups[gi] = NewGridRun(n, m, guesses[lo:hi], c, rngs[lo:hi])
+		algs[gi] = groups[gi]
+		for l := 0; l < groups[gi].Lanes(); l++ {
+			runs = append(runs, groups[gi].Lane(l))
+		}
+	}
+	return &Solver{Parallel: stream.NewParallel(algs...), groups: groups, runs: runs, workers: c.Workers, ctx: c.Context}
 }
 
 // Run drives the solver over st for up to maxPasses passes at the
 // guess-grid parallelism of the Config it was built with: Workers == 1 uses
 // the sequential lockstep driver (stream.Run over the Parallel composition);
-// any other value fans the per-guess runs out to that many goroutines
-// (0 = GOMAXPROCS) via parallel.Run. Results and accounting are
+// any other value fans the per-worker guess groups out to that many
+// goroutines (0 = GOMAXPROCS) via parallel.Run. Results and accounting are
 // bit-identical at every worker count — each guess owns an RNG split from
 // the root seed and observes the full stream in arrival order (see
-// internal/parallel's determinism contract).
+// internal/parallel's determinism contract and GridRun's grouping
+// invariance).
 func (s *Solver) Run(st stream.Stream, maxPasses int) (stream.Accounting, error) {
 	if s.workers == 1 {
 		ctx := s.ctx
@@ -586,8 +803,12 @@ func (s *Solver) Best() (Result, bool) {
 	return best, found
 }
 
-// Runs exposes the per-guess runs (for tests and experiments).
+// Runs exposes the per-guess runs in guess order (for tests and
+// experiments).
 func (s *Solver) Runs() []*Run { return s.runs }
+
+// Groups exposes the per-worker guess groups (for tests).
+func (s *Solver) Groups() []*GridRun { return s.groups }
 
 // Solve is the convenience entry point: stream the instance in the given
 // order and return the best cover with driver accounting.

@@ -20,6 +20,7 @@
 package maxcover
 
 import (
+	"context"
 	"math"
 	"slices"
 	"sort"
@@ -49,6 +50,10 @@ type SampledConfig struct {
 	// are identical at every worker count: ties break toward the lowest set
 	// index exactly as in the sequential scan.
 	Workers int
+	// Context, when non-nil, cancels the exact offline sub-solve of EndPass
+	// cooperatively (branch-and-bound polls it every few thousand nodes);
+	// the stream driver handles cancellation between Observe chunks.
+	Context context.Context
 }
 
 // SampledKCover is the element-sampling streaming maximum coverage
@@ -145,7 +150,8 @@ func (a *SampledKCover) EndPass() bool {
 	sub := sb.Build()
 	var picked []int
 	if a.cfg.Exact {
-		chosen, _, err := offline.MaxCoverExact(sub, a.cfg.K, offline.ExactConfig{NodeBudget: a.cfg.NodeBudget})
+		chosen, _, err := offline.MaxCoverExact(sub, a.cfg.K,
+			offline.ExactConfig{NodeBudget: a.cfg.NodeBudget, Context: a.cfg.Context})
 		if err != nil {
 			a.err = err
 			a.done = true
@@ -174,22 +180,35 @@ func (a *SampledKCover) Result() ([]int, error) {
 	return append([]int(nil), a.chosen...), a.err
 }
 
-// Sieve is the single-pass threshold maximum-coverage algorithm.
+// Sieve is the single-pass threshold maximum-coverage algorithm. Its
+// geometric OPT-guess grid is its own fan-out — every guess probes every
+// item — so the per-guess covered bitsets live as lanes of one bit-sliced
+// bitset.Grid, and Observe computes all marginal gains with one interleaved
+// Grid.AndCountRuns sweep (the dispatched scalar/AVX2 kernel) per item.
+//
+// Only *active* guesses — those still short of the k-set budget — occupy
+// grid lanes: a guess that saturates never probes again (its count is
+// final), so the grid is compacted to the surviving lanes on every
+// saturation and the sweep's width tracks the live frontier instead of the
+// full geometric grid.
 type Sieve struct {
 	n, k int
 	eps  float64
 
 	maxSingleton int
 	guesses      []sieveGuess
+	lanes        []int        // lanes[l] = index into guesses of lane l's owner
+	grid         *bitset.Grid // covered elements, one lane per active guess
+	counts       []int64      // AndCountRuns accumulator, grid width
 	runScratch   []bitset.Run
 	done         bool
 }
 
 type sieveGuess struct {
-	v       float64
-	chosen  []int
-	covered *bitset.Bitset
-	count   int
+	v      float64
+	chosen []int
+	count  int
+	lane   int // grid lane while active; -1 once saturated
 }
 
 // NewSieve builds a sieve for universe n with budget k and slack ε.
@@ -207,9 +226,11 @@ func NewSieve(n, k int, eps float64) *Sieve {
 func (s *Sieve) BeginPass(pass int) {}
 
 // Observe implements stream.PassAlgorithm. The item's run list is built (or
-// taken from the producer) once and probed against every guess of the
-// geometric grid: the per-item cost is one AND+popcount per occupied word
-// per guess, instead of the former O(guesses·|S|) branchy bit probes.
+// taken from the producer) once, swept across the active lanes in one
+// interleaved Grid.AndCountRuns — all per-guess already-covered counts from
+// stride-1 loads — and each active guess then applies its threshold test to
+// its lane's count. Picks update the picking guess's lane only; a pick that
+// saturates its guess triggers a grid compaction to the surviving lanes.
 func (s *Sieve) Observe(item stream.Item) {
 	if s.done {
 		return
@@ -218,47 +239,117 @@ func (s *Sieve) Observe(item stream.Item) {
 		s.maxSingleton = len(item.Elems)
 		s.refreshGuesses()
 	}
+	if len(s.lanes) == 0 {
+		return
+	}
 	var runs []bitset.Run
 	runs, s.runScratch = item.RunsInto(s.runScratch)
-	for gi := range s.guesses {
+	counts := s.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	s.grid.AndCountRuns(runs, counts)
+	saturated := false
+	for l, gi := range s.lanes {
 		g := &s.guesses[gi]
-		if len(g.chosen) >= s.k {
-			continue
-		}
-		gain := len(item.Elems) - g.covered.AndCountRuns(runs)
+		gain := len(item.Elems) - int(counts[l])
 		need := (g.v/2 - float64(g.count)) / float64(s.k-len(g.chosen))
 		if float64(gain) >= need && gain > 0 {
 			g.chosen = append(g.chosen, item.ID)
-			g.count += g.covered.SetRuns(runs)
+			g.count += s.grid.LaneOrRuns(l, runs)
+			if len(g.chosen) >= s.k {
+				saturated = true
+			}
 		}
 	}
+	if saturated {
+		s.compactLanes()
+	}
+}
+
+// compactLanes rebuilds the grid over the guesses still short of the budget,
+// dropping saturated guesses' covered lanes (their counts are final). Each
+// guess saturates at most once, so the total compaction cost over a pass is
+// O(guesses · grid words).
+func (s *Sieve) compactLanes() {
+	keep := s.lanes[:0]
+	for _, gi := range s.lanes {
+		if len(s.guesses[gi].chosen) < s.k {
+			keep = append(keep, gi)
+		} else {
+			s.guesses[gi].lane = -1
+		}
+	}
+	if len(keep) == len(s.lanes) {
+		return
+	}
+	if len(keep) == 0 {
+		s.lanes, s.grid, s.counts = nil, nil, nil
+		return
+	}
+	grid := bitset.NewGrid(s.n, len(keep))
+	for l, gi := range keep {
+		grid.CopyLane(l, s.grid, s.guesses[gi].lane)
+		s.guesses[gi].lane = l
+	}
+	s.lanes = keep
+	s.grid = grid
+	s.counts = grid.MakeCounts()
 }
 
 // refreshGuesses lazily maintains the geometric OPT-guess grid
 // {(1+ε)^j : maxSingleton ≤ (1+ε)^j ≤ 2·k·maxSingleton}, carrying over the
-// state of guesses that remain in range.
+// state of guesses that remain in range. The covered grid is rebuilt over
+// the active (unsaturated) guesses of the new grid — surviving active
+// lanes are migrated with CopyLane, fresh guesses start empty, and
+// saturated survivors keep their final counts without a lane.
 func (s *Sieve) refreshGuesses() {
 	lo := float64(s.maxSingleton)
 	hi := 2 * float64(s.k) * float64(s.maxSingleton)
-	keep := s.guesses[:0]
-	existing := map[int]sieveGuess{}
-	for _, g := range s.guesses {
-		existing[int(math.Round(math.Log(g.v)/math.Log(1+s.eps)))] = g
+	existing := map[int]int{} // geometric index j → current guess index
+	for gi, g := range s.guesses {
+		existing[int(math.Round(math.Log(g.v)/math.Log(1+s.eps)))] = gi
 	}
 	jLo := int(math.Floor(math.Log(lo) / math.Log(1+s.eps)))
 	jHi := int(math.Ceil(math.Log(hi) / math.Log(1+s.eps)))
+	var next []sieveGuess
+	var src []int // previous grid lane per new guess; -1 if none to migrate
 	for j := jLo; j <= jHi; j++ {
 		v := math.Pow(1+s.eps, float64(j))
 		if v < lo/(1+s.eps) || v > hi*(1+s.eps) {
 			continue
 		}
-		if g, ok := existing[j]; ok {
-			keep = append(keep, g)
+		if gi, ok := existing[j]; ok {
+			next = append(next, s.guesses[gi])
+			src = append(src, s.guesses[gi].lane)
 			continue
 		}
-		keep = append(keep, sieveGuess{v: v, covered: bitset.New(s.n)})
+		next = append(next, sieveGuess{v: v, lane: -1})
+		src = append(src, -1)
 	}
-	s.guesses = keep
+	lanes := make([]int, 0, len(next))
+	for gi := range next {
+		if len(next[gi].chosen) < s.k {
+			lanes = append(lanes, gi)
+		} else {
+			next[gi].lane = -1
+		}
+	}
+	if len(lanes) == 0 {
+		s.guesses, s.lanes, s.grid, s.counts = next, nil, nil, nil
+		return
+	}
+	grid := bitset.NewGrid(s.n, len(lanes))
+	for l, gi := range lanes {
+		if src[gi] >= 0 {
+			grid.CopyLane(l, s.grid, src[gi])
+		}
+		next[gi].lane = l
+	}
+	s.guesses = next
+	s.lanes = lanes
+	s.grid = grid
+	s.counts = grid.MakeCounts()
 }
 
 // EndPass implements stream.PassAlgorithm: single pass.

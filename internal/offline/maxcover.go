@@ -1,6 +1,8 @@
 package offline
 
 import (
+	"context"
+
 	"streamcover/internal/bitset"
 	"streamcover/internal/parallel"
 	"streamcover/internal/setsystem"
@@ -88,6 +90,9 @@ func MaxCoverPair(in *setsystem.Instance) (i, j, coverage int) {
 // choices with a greedy-completion upper bound. Intended for small k; it
 // returns ErrBudget if the node budget is exceeded.
 func MaxCoverExact(in *setsystem.Instance, k int, cfg ExactConfig) ([]int, int, error) {
+	if err := pollCtx(cfg.Context); err != nil {
+		return nil, 0, err
+	}
 	if k <= 0 || in.M() == 0 {
 		return nil, 0, nil
 	}
@@ -107,6 +112,7 @@ func MaxCoverExact(in *setsystem.Instance, k int, cfg ExactConfig) ([]int, int, 
 		sets:    in.Bitsets(),
 		sizes:   make([]int, in.M()),
 		budget:  budget,
+		ctx:     cfg.Context,
 		bestCov: greedyCov,
 		best:    append([]int(nil), greedyChosen...),
 	}
@@ -125,6 +131,7 @@ type mcSearcher struct {
 	sizes   []int
 	budget  int64
 	nodes   int64
+	ctx     context.Context // polled every ctxPollMask+1 nodes; nil = never
 	best    []int
 	bestCov int
 	stack   []int
@@ -135,6 +142,11 @@ func (e *mcSearcher) dfs(from, k int, covered *bitset.Bitset, cov int) error {
 	e.nodes++
 	if e.nodes > e.budget {
 		return ErrBudget
+	}
+	if e.nodes&ctxPollMask == 0 {
+		if err := pollCtx(e.ctx); err != nil {
+			return err
+		}
 	}
 	if cov > e.bestCov {
 		e.bestCov = cov

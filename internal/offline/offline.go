@@ -11,12 +11,33 @@ package offline
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 
 	"streamcover/internal/bitset"
 	"streamcover/internal/setsystem"
 )
+
+// ctxPollMask spaces the solvers' cancellation polls: the context is checked
+// once every ctxPollMask+1 units of work (search nodes, heap pops), keeping
+// the poll off the per-node hot path while bounding the latency between a
+// cancel and the solver returning.
+const ctxPollMask = 4096 - 1
+
+// pollCtx reports the context's error if it is done; a nil context never
+// cancels.
+func pollCtx(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
 
 // ErrInfeasible is returned when the instance admits no set cover at all.
 var ErrInfeasible = errors.New("offline: universe is not coverable by the given sets")
@@ -29,12 +50,26 @@ var ErrBudget = errors.New("offline: exact search exceeded its node budget")
 // It implements lazy (heap-based) evaluation, so the running time is
 // O(Σ|S_i| log m) rather than O(opt·m·n).
 func Greedy(in *setsystem.Instance) ([]int, error) {
-	return GreedyOn(in, nil)
+	return greedyOn(nil, in, nil)
+}
+
+// GreedyContext is Greedy with cancellation: the selection loop polls ctx
+// periodically and returns ctx.Err() once it is done. A nil ctx never
+// cancels.
+func GreedyContext(ctx context.Context, in *setsystem.Instance) ([]int, error) {
+	return greedyOn(ctx, in, nil)
 }
 
 // GreedyOn runs greedy covering only the target elements (nil means the full
 // universe). It returns ErrInfeasible if the target cannot be covered.
 func GreedyOn(in *setsystem.Instance, target *bitset.Bitset) ([]int, error) {
+	return greedyOn(nil, in, target)
+}
+
+func greedyOn(ctx context.Context, in *setsystem.Instance, target *bitset.Bitset) ([]int, error) {
+	if err := pollCtx(ctx); err != nil {
+		return nil, err
+	}
 	uncovered := bitset.New(in.N)
 	if target == nil {
 		uncovered.Fill()
@@ -56,7 +91,13 @@ func GreedyOn(in *setsystem.Instance, target *bitset.Bitset) ([]int, error) {
 	}
 
 	var cover []int
+	pops := 0
 	for remaining > 0 {
+		if pops++; pops&ctxPollMask == 0 {
+			if err := pollCtx(ctx); err != nil {
+				return nil, err
+			}
+		}
 		if h.Len() == 0 {
 			return nil, ErrInfeasible
 		}
@@ -109,6 +150,11 @@ type ExactConfig struct {
 	// 50 million, which is ample for the sampled sub-instances Algorithm 1
 	// produces. The search returns ErrBudget when exceeded.
 	NodeBudget int64
+	// Context, when non-nil, makes the search cancellable: the solvers poll
+	// it every few thousand search nodes (and the greedy front-end polls per
+	// selection batch) and return its error once it is done. A nil Context
+	// never cancels — the pre-cancellation behavior.
+	Context context.Context
 }
 
 const defaultNodeBudget = 50_000_000
@@ -124,14 +170,20 @@ func CoverAtMost(in *setsystem.Instance, k int, cfg ExactConfig) (cover []int, o
 	if budget == 0 {
 		budget = defaultNodeBudget
 	}
+	if err := pollCtx(cfg.Context); err != nil {
+		return nil, false, err
+	}
 	// Greedy-first: any cover of size ≤ k certifies "yes" — only when greedy
 	// overshoots must the exhaustive search decide. This keeps generous-k
 	// queries (Algorithm 1's per-iteration sub-solves) polynomial in
 	// practice while preserving completeness.
-	if g, gerr := Greedy(in); gerr == nil && len(g) <= k {
+	if g, gerr := greedyOn(cfg.Context, in, nil); gerr == nil && len(g) <= k {
 		return g, true, nil
+	} else if gerr != nil && gerr != ErrInfeasible {
+		return nil, false, gerr
 	}
 	s := newSearcher(in, budget)
+	s.ctx = cfg.Context
 	uncovered := bitset.New(in.N)
 	uncovered.Fill()
 	if uncovered.Empty() {
@@ -168,7 +220,7 @@ func Exact(in *setsystem.Instance, cfg ExactConfig) ([]int, error) {
 }
 
 func exactOn(in *setsystem.Instance, cfg ExactConfig) ([]int, error) {
-	greedy, err := Greedy(in)
+	greedy, err := greedyOn(cfg.Context, in, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -239,6 +291,7 @@ type searcher struct {
 	maxSize int // largest |S_i|
 	budget  int64
 	nodes   int64
+	ctx     context.Context // polled every ctxPollMask+1 nodes; nil = never
 	best    []int
 	stack   []int
 	// scratch is the per-depth uncovered-bitset pool: dfs at depth d writes
@@ -304,6 +357,11 @@ func (s *searcher) dfs(uncovered *bitset.Bitset, rem, k, depth int) (bool, error
 	s.nodes++
 	if s.nodes > s.budget {
 		return false, ErrBudget
+	}
+	if s.nodes&ctxPollMask == 0 {
+		if err := pollCtx(s.ctx); err != nil {
+			return false, err
+		}
 	}
 	if rem == 0 {
 		s.best = append(s.best[:0], s.stack...)

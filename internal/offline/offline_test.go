@@ -1,8 +1,11 @@
 package offline
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"streamcover/internal/bitset"
 	"streamcover/internal/rng"
@@ -293,5 +296,71 @@ func BenchmarkExactSmall(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = Exact(in, ExactConfig{})
+	}
+}
+
+// ctxCancelled returns an already-cancelled context.
+func ctxCancelled() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestContextCancelAtEntry(t *testing.T) {
+	in := setsystem.FromSets(4, [][]int{{0, 1}, {2, 3}})
+	ctx := ctxCancelled()
+	if _, err := GreedyContext(ctx, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GreedyContext err = %v, want context.Canceled", err)
+	}
+	if _, _, err := CoverAtMost(in, 2, ExactConfig{Context: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CoverAtMost err = %v, want context.Canceled", err)
+	}
+	if _, err := Exact(in, ExactConfig{Context: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Exact err = %v, want context.Canceled", err)
+	}
+	if _, _, err := MaxCoverExact(in, 1, ExactConfig{Context: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MaxCoverExact err = %v, want context.Canceled", err)
+	}
+}
+
+// TestContextNilNeverCancels pins the compatibility contract: the zero
+// ExactConfig (nil Context) behaves exactly as before cancellation existed.
+func TestContextNilNeverCancels(t *testing.T) {
+	in := setsystem.FromSets(4, [][]int{{0, 1}, {2, 3}})
+	if cover, err := Exact(in, ExactConfig{}); err != nil || len(cover) != 2 {
+		t.Fatalf("Exact = %v, %v", cover, err)
+	}
+}
+
+// TestExactContextCancelMidSearch cancels a worst-case branch-and-bound
+// from another goroutine and requires the search to return promptly with
+// the context's error — the property that keeps a serving layer's
+// Stop/SIGTERM from blocking on a hard exact job.
+func TestExactContextCancelMidSearch(t *testing.T) {
+	// Random small sets over a moderate universe: greedy overshoots and the
+	// iterative-deepening search has a deep, bushy tree — far more than
+	// ctxPollMask nodes, so the in-search poll (not the entry check) must
+	// fire. Budget-unbounded: without cancellation this search would grind
+	// for a very long time.
+	r := rng.New(11)
+	in := setsystem.Uniform(r, 64, 256, 3, 5)
+	if _, err := Greedy(in); err != nil {
+		t.Fatalf("precondition: instance not coverable: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Exact(in, ExactConfig{Context: ctx})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Exact err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Exact did not return within 10s of cancellation")
 	}
 }

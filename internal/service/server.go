@@ -151,9 +151,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // watchJob streams NDJSON job snapshots: one line immediately, one on
 // every observed status change, and the final line is the terminal
 // snapshot. This is the streaming side of the API — a client tails one
-// response instead of polling.
+// response instead of polling. Snapshots come from a Subscribe handle, not
+// repeated ID lookups, so the stream always ends with the terminal
+// snapshot even if the MaxJobs GC prunes the job the moment it finishes.
 func (s *Server) watchJob(w http.ResponseWriter, r *http.Request, id string) {
-	done, err := s.sched.Done(id)
+	h, err := s.sched.Subscribe(id)
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return
@@ -164,10 +166,7 @@ func (s *Server) watchJob(w http.ResponseWriter, r *http.Request, id string) {
 	enc := json.NewEncoder(w)
 	var last JobStatus
 	emit := func() (terminal bool) {
-		job, err := s.sched.Job(id)
-		if err != nil {
-			return true
-		}
+		job := h.Snapshot()
 		if job.Status == last {
 			return job.Status.Terminal()
 		}
@@ -189,7 +188,7 @@ func (s *Server) watchJob(w http.ResponseWriter, r *http.Request, id string) {
 		select {
 		case <-r.Context().Done():
 			return
-		case <-done:
+		case <-h.Done():
 			emit()
 			return
 		case <-ticker.C:

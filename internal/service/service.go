@@ -498,13 +498,13 @@ func (s *Scheduler) solve(ctx context.Context, inst *streamcover.Instance, req S
 		}
 		return &SolveResult{Cover: res.Chosen, Covered: res.Covered, Passes: res.Passes, SpaceWords: res.SpaceWords}, nil
 	case "greedy":
-		cover, err := streamcover.GreedySetCover(inst)
+		cover, err := streamcover.GreedySetCoverContext(ctx, inst)
 		if err != nil {
 			return nil, err
 		}
 		return &SolveResult{Cover: cover}, nil
 	case "exact":
-		cover, err := streamcover.ExactSetCover(inst)
+		cover, err := streamcover.ExactSetCoverContext(ctx, inst)
 		if err != nil {
 			return nil, err
 		}
@@ -569,33 +569,55 @@ func (s *Scheduler) Job(id string) (Job, error) {
 	return j.snapshotLocked(), nil
 }
 
-// Wait blocks until the job reaches a terminal status (returning its final
-// snapshot) or ctx is done (returning ctx.Err()).
-func (s *Scheduler) Wait(ctx context.Context, id string) (Job, error) {
-	s.mu.Lock()
-	j, ok := s.jobs[id]
-	s.mu.Unlock()
-	if !ok {
-		return Job{}, ErrUnknownJob
-	}
-	select {
-	case <-j.done:
-		return s.Job(id)
-	case <-ctx.Done():
-		return Job{}, ctx.Err()
-	}
+// Handle is a stable subscription to one job: it holds direct references
+// to the job record and its completion channel, so the job's terminal
+// snapshot stays observable even after the MaxJobs GC forgets the record's
+// ID. Waiters must use a Handle (or Wait, built on one) rather than
+// re-resolving the ID around a blocking point — a busy scheduler can prune
+// a just-finished job between "it completed" and "read its result", and an
+// ID re-lookup would then misreport the finished job as unknown.
+type Handle struct {
+	s *Scheduler
+	j *job
 }
 
-// Done exposes the job's completion channel (closed at terminal status),
-// for select-based waiters like the watch endpoint.
-func (s *Scheduler) Done(id string) (<-chan struct{}, error) {
+// Done returns the channel the scheduler closes when the job reaches a
+// terminal status.
+func (h *Handle) Done() <-chan struct{} { return h.j.done }
+
+// Snapshot returns the job's current snapshot. After Done is closed it is
+// the final, immutable state.
+func (h *Handle) Snapshot() Job {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.j.snapshotLocked()
+}
+
+// Subscribe returns a stable Handle on the job, or ErrUnknownJob if the ID
+// was never issued (or already pruned by the MaxJobs GC).
+func (s *Scheduler) Subscribe(id string) (*Handle, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
 		return nil, ErrUnknownJob
 	}
-	return j.done, nil
+	return &Handle{s: s, j: j}, nil
+}
+
+// Wait blocks until the job reaches a terminal status (returning its final
+// snapshot) or ctx is done (returning ctx.Err()).
+func (s *Scheduler) Wait(ctx context.Context, id string) (Job, error) {
+	h, err := s.Subscribe(id)
+	if err != nil {
+		return Job{}, err
+	}
+	select {
+	case <-h.Done():
+		return h.Snapshot(), nil
+	case <-ctx.Done():
+		return Job{}, ctx.Err()
+	}
 }
 
 // Stats returns the cumulative scheduler accounting.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sync"
@@ -499,5 +500,86 @@ func TestCacheKeyCoversOptions(t *testing.T) {
 	same := norm(SolveRequest{Instance: "h", Workers: 7, Wait: true})
 	if same != keys["base"] {
 		t.Fatalf("workers/wait leaked into the cache key: %s vs %s", same, keys["base"])
+	}
+}
+
+// TestSchedulerCancelExactJob pins the offline-branch cancellation wiring:
+// before the solvers grew Context support, the "exact" (and "greedy")
+// algos ignored the job context, so a worst-case branch-and-bound could
+// block Cancel and Stop indefinitely. The instance here is dense enough
+// that an uncancelled exact solve runs far beyond the test timeout.
+func TestSchedulerCancelExactJob(t *testing.T) {
+	reg, sched := newEnv(t, registry.Config{}, Config{Slots: 1, JobWorkers: 1, QueueDepth: 1})
+	hash, _, err := reg.Put(streamcover.GenerateUniform(11, 64, 256, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := sched.Submit(SolveRequest{Instance: hash, Algo: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, sched, j.ID, StatusRunning, 5*time.Second)
+	time.Sleep(20 * time.Millisecond) // let the search descend past its entry checks
+	if err := sched.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	fj, err := sched.Wait(ctx, j.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v (exact job did not abort after Cancel)", err)
+	}
+	if fj.Status != StatusCanceled {
+		t.Fatalf("status %s, want %s", fj.Status, StatusCanceled)
+	}
+}
+
+// TestSubscribeSurvivesJobTableGC pins the Wait/watch fix: a Handle taken
+// before the MaxJobs GC prunes a finished job still reports the job's
+// terminal snapshot, while plain ID lookups (correctly) fail. Before
+// Subscribe existed, Wait re-resolved the ID after the done signal, so a
+// pruned record turned a finished job into ErrUnknownJob for its waiter.
+func TestSubscribeSurvivesJobTableGC(t *testing.T) {
+	const maxJobs = 2
+	reg, sched := newEnv(t, registry.Config{}, Config{Slots: 1, MaxJobs: maxJobs, QueueDepth: 64})
+	hash, _, err := reg.Put(smallInst(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sched.Submit(SolveRequest{Instance: hash, Alpha: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sched.Subscribe(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Wait(t.Context(), a.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Push enough newer jobs through to prune a's record.
+	for i := 0; i < 3*maxJobs; i++ {
+		j, err := sched.Submit(SolveRequest{Instance: hash, Alpha: 2, Seed: uint64(i + 2), NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sched.Wait(t.Context(), j.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sched.Job(a.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("job %s still resolvable by ID, want pruned (err=%v)", a.ID, err)
+	}
+	if _, err := sched.Subscribe(a.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Subscribe on pruned ID: err=%v, want ErrUnknownJob", err)
+	}
+	select {
+	case <-h.Done():
+	default:
+		t.Fatal("handle's Done channel not closed for a finished job")
+	}
+	final := h.Snapshot()
+	if final.Status != StatusDone || final.Result == nil {
+		t.Fatalf("handle snapshot after GC = %+v, want done with result", final)
 	}
 }

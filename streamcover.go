@@ -225,6 +225,7 @@ func SolveMaxCoverage(inst *Instance, k int, opts ...Option) (MaxCoverageResult,
 	r := rng.New(o.seed)
 	alg := maxcover.NewSampledKCover(inst.N, inst.M(), maxcover.SampledConfig{
 		K: k, Eps: o.eps, Exact: !o.greedySub, SampleC: o.sampleC, Workers: o.workers,
+		Context: o.ctx,
 	}, r.Split("sample"))
 	var orderRNG *rng.RNG
 	if o.order != Adversarial {
@@ -260,10 +261,26 @@ func GreedySetCover(inst *Instance) ([]int, error) {
 	return offline.Greedy(inst)
 }
 
+// GreedySetCoverContext is GreedySetCover with cooperative cancellation:
+// the selection loop polls ctx periodically and returns ctx.Err() once it
+// is done. A nil ctx never cancels.
+func GreedySetCoverContext(ctx context.Context, inst *Instance) ([]int, error) {
+	return offline.GreedyContext(ctx, inst)
+}
+
 // ExactSetCover computes an optimal cover by branch-and-bound. Exponential
 // in the worst case; intended for small instances and verification.
 func ExactSetCover(inst *Instance) ([]int, error) {
 	return offline.Exact(inst, offline.ExactConfig{})
+}
+
+// ExactSetCoverContext is ExactSetCover with cooperative cancellation: the
+// branch-and-bound polls ctx every few thousand search nodes and returns
+// ctx.Err() once it is done — what lets a serving layer abort a
+// worst-case-exponential exact job instead of blocking on it. A nil ctx
+// never cancels.
+func ExactSetCoverContext(ctx context.Context, inst *Instance) ([]int, error) {
+	return offline.Exact(inst, offline.ExactConfig{Context: ctx})
 }
 
 // GreedyMaxCoverage is the offline greedy (1−1/e)-approximate maximum
