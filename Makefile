@@ -25,6 +25,17 @@ BENCH_GRID_BASELINE ?= BENCH_masks_scalar.json
 DATASET_BENCH_PATTERN ?= BenchmarkLoad
 DATASET_BENCH_JSON ?= BENCH_datasets.json
 
+# Replay-plane benchmarks: multi-pass file solves served from the plan
+# cache vs honest per-pass re-decoding, plus the isolated per-pass stream
+# cost. The on/off legs of BenchmarkSolveFileReplay are the tracked pair
+# (the replay leg must stay well ahead; see DESIGN.md §2.8).
+REPLAY_BENCH_PATTERN ?= BenchmarkSolveFileReplay|BenchmarkPassOverhead
+REPLAY_BENCH_JSON ?= BENCH_replay.json
+# The frozen recording from the PR that introduced the replay plane,
+# the committed reference bench-compare diffs fresh recordings against
+# (same convention as BENCH_masks_scalar.json for the grid kernels).
+REPLAY_BENCH_BASELINE ?= BENCH_replay_base.json
+
 .PHONY: all fmt fmt-check vet build test bench bench-json bench-compare serve-smoke import-smoke ci
 
 all: build
@@ -62,14 +73,19 @@ bench-json:
 	@echo "wrote $(BENCH_JSON)"
 	$(GO) test -json -run '^$$' -bench '$(DATASET_BENCH_PATTERN)' -benchmem ./internal/setsystem > $(DATASET_BENCH_JSON)
 	@echo "wrote $(DATASET_BENCH_JSON)"
+	$(GO) test -json -run '^$$' -bench '$(REPLAY_BENCH_PATTERN)' -benchmem . > $(REPLAY_BENCH_JSON)
+	@echo "wrote $(REPLAY_BENCH_JSON)"
 
 ## bench-compare: diff the fresh recording against the committed baselines
 ## (informational; never fails on a regression). bench-delta.txt tracks the
 ## long-running CSR baseline; bench-delta-grid.txt isolates the bit-sliced
-## grid kernels against the pre-bit-slicing per-guess recording.
+## grid kernels against the pre-bit-slicing per-guess recording;
+## bench-delta-replay.txt tracks the plan-cache serving legs against the
+## recording frozen when the replay plane landed.
 bench-compare: bench-json
 	$(GO) run ./cmd/benchcmp $(BENCH_BASELINE) $(BENCH_JSON) | tee bench-delta.txt
 	$(GO) run ./cmd/benchcmp $(BENCH_GRID_BASELINE) $(BENCH_JSON) | tee bench-delta-grid.txt
+	$(GO) run ./cmd/benchcmp $(REPLAY_BENCH_BASELINE) $(REPLAY_BENCH_JSON) | tee bench-delta-replay.txt
 
 ## serve-smoke: end-to-end coverd check — start the daemon on a random
 ## port, upload a hardgen instance, solve remotely, diff against the

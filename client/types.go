@@ -156,13 +156,17 @@ type SchedulerStats struct {
 
 // RegistryStats summarizes the resident-instance store. ResidentBytes is
 // what the budget bounds; it splits into HeapBytes (decoded instances
-// owned by the Go heap) and MappedBytes (SCB2 files mmap'd zero-copy,
-// resident in page cache rather than heap).
+// owned by the Go heap), MappedBytes (SCB2 files mmap'd zero-copy,
+// resident in page cache rather than heap), and PlanBytes (pass-replay
+// plans built lazily on first solve — prebuilt per-set run lists served to
+// every later pass — charged to the budget like instance bytes and dropped
+// with their instance on eviction).
 type RegistryStats struct {
 	Instances     int    `json:"instances"`
 	ResidentBytes int64  `json:"resident_bytes"`
 	HeapBytes     int64  `json:"heap_bytes"`
 	MappedBytes   int64  `json:"mapped_bytes"`
+	PlanBytes     int64  `json:"plan_bytes"`
 	BudgetBytes   int64  `json:"budget_bytes"`
 	Evictions     uint64 `json:"evictions"`
 }
@@ -173,6 +177,9 @@ type InstanceInfo struct {
 	N     int    `json:"n"`
 	M     int    `json:"m"`
 	Bytes int64  `json:"bytes"`
+	// PlanBytes is the size of the attached pass-replay plan, 0 when none
+	// has been built yet (plans are built lazily on first solve).
+	PlanBytes int64 `json:"plan_bytes,omitempty"`
 	// Backing is "heap" or "mapped" (an mmap'd SCB2 file).
 	Backing string `json:"backing"`
 }

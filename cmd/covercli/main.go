@@ -55,6 +55,7 @@ func main() {
 		server  = flag.String("server", "", "coverd base URL; non-empty runs the solve remotely")
 		convert = flag.String("convert", "", "write the instance (-in or -gen) to this path instead of solving")
 		to      = flag.String("to", "scb2", "codec for -convert: scb2 (mmap-native), scb1 (compact varint), text")
+		replay  = flag.Bool("replay", false, "cache the first pass of a file-backed solve (elements + prebuilt run lists) and serve later passes from memory; results are identical, later passes skip decode entirely")
 	)
 	flag.Parse()
 	if err := validateFlags(*algo, *gen, *order, *in, *convert, *to); err != nil {
@@ -76,7 +77,7 @@ func main() {
 	// without materializing it (stream.FileStream); the in-memory instance
 	// is still loaded for stats and verification.
 	if *in != "" && *algo == "alg1" && *order == "adversarial" {
-		runFileStreaming(*in, *alpha, *eps, *seed, *workers)
+		runFileStreaming(*in, *alpha, *eps, *seed, *workers, *replay)
 		return
 	}
 	inst, err := loadInstance(*in, *gen, *n, *m, *opt, *seed)
@@ -216,21 +217,36 @@ func runRemote(base, in, gen string, n, m, opt int, algo string, alpha int, eps 
 // (core.SolveFileRNG) matches core.Solve, so the result is bit-identical
 // to SolveSetCover on the decoded instance — which is also what a remote
 // (-server) run computes.
-func runFileStreaming(path string, alpha int, eps float64, seed uint64, workers int) {
+func runFileStreaming(path string, alpha int, eps float64, seed uint64, workers int, replay bool) {
 	fs, err := stream.Open(path)
 	if err != nil {
 		fatal(err)
 	}
 	defer fs.Close()
 	fmt.Printf("instance (file-streamed): n=%d m=%d\n", fs.Universe(), fs.Len())
+	// -replay wraps the file stream in a pass-replay cache: the first pass
+	// decodes honestly while recording, later passes are served from memory.
+	// The result is bit-identical either way (replay-parity tests pin this),
+	// so the replay note goes to stderr and stdout stays diffable against a
+	// plain run.
+	var src stream.FileBacked = fs
+	var cache *stream.PlanCache
+	if replay {
+		cache = stream.NewPlanCache(fs, 0)
+		src = cache
+	}
 	cfg := core.Config{Alpha: alpha, Epsilon: eps, Workers: workers}
-	best, acc, err := core.SolveStream(fs, cfg, core.SolveFileRNG(seed))
+	best, acc, err := core.SolveStream(src, cfg, core.SolveFileRNG(seed))
 	if err != nil {
 		if errors.Is(err, streamcover.ErrInfeasible) {
 			fmt.Println("alg1: infeasible (universe not coverable)")
 			os.Exit(1)
 		}
 		fatal(err)
+	}
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "replay: plan %d bytes (%d passes served from memory)\n",
+			cache.PlanBytes(), acc.Passes-1)
 	}
 	fmt.Printf("alg1(α=%d): cover=%d sets (guess %d), %d passes, %d words\n",
 		alpha, len(best.Cover), best.Guess, acc.Passes, acc.PeakSpace)

@@ -52,6 +52,7 @@ func main() {
 		queueDepth  = flag.Int("queue", 0, "queued-job bound before 429 backpressure (0 = default 64)")
 		cacheSize   = flag.Int("cache", 0, "result cache entries (0 = default 1024, -1 disables)")
 		maxUploadMB = flag.Int64("max-upload-mb", 1024, "largest accepted instance upload in MiB")
+		replay      = flag.Bool("replay", true, "build a pass-replay plan per instance lazily on first solve (plan bytes count against -mem-budget-mb, visible as plan_bytes in /v1/stats); false streams honestly every pass")
 	)
 	flag.Var(&loads, "load", "instance file to preload (repeatable; text or binary)")
 	flag.Parse()
@@ -76,6 +77,7 @@ func main() {
 	}
 	sched := service.NewScheduler(reg, service.Config{
 		Slots: *slots, JobWorkers: *jobWorkers, QueueDepth: *queueDepth, CacheEntries: *cacheSize,
+		DisableReplay: !*replay,
 	})
 	handler := service.NewServer(reg, sched, *maxUploadMB<<20)
 

@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"streamcover/internal/bitset"
+	"streamcover/internal/parallel"
 	"streamcover/internal/rng"
+	"streamcover/internal/setsystem"
 	"streamcover/internal/stream"
 )
 
@@ -65,6 +67,55 @@ func TestObserveAllocFreeWithSharedRuns(t *testing.T) {
 	allocs = testing.AllocsPerRun(500, func() { a.Observe(item) })
 	if allocs > 0 {
 		t.Fatalf("subtract-phase Observe with shared runs allocates %.2f objects/item", allocs)
+	}
+}
+
+// nullPassAlg is a no-op PassAlgorithm that needs a fixed number of passes.
+// It contributes zero allocations of its own, so driving it through
+// parallel.Run meters the driver's per-pass cost in isolation.
+type nullPassAlg struct {
+	need int
+	pass int
+}
+
+func (a *nullPassAlg) BeginPass(pass int)  { a.pass = pass }
+func (a *nullPassAlg) Observe(stream.Item) {}
+func (a *nullPassAlg) EndPass() bool       { return a.pass+1 >= a.need }
+func (a *nullPassAlg) Space() int          { return 0 }
+
+// runDriverAllocs measures whole-Run allocations with four null children
+// needing `need` passes each. Setup cost (pool, accounting slices, worker
+// spawns) is identical for any need, so differencing two pass counts
+// isolates the marginal per-pass cost.
+func runDriverAllocs(s stream.Stream, need int) float64 {
+	children := make([]stream.PassAlgorithm, 4)
+	for i := range children {
+		children[i] = &nullPassAlg{need: need}
+	}
+	cfg := parallel.Config{Workers: 4, MaxPasses: need + 1}
+	return testing.AllocsPerRun(10, func() {
+		if _, err := parallel.Run(s, children, cfg); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// TestParallelRunSteadyStatePassAllocFree pins the chunk-recycling
+// contract: after the first pass warms the free list (and the chunk-owned
+// run arenas), every further pass of parallel.Run must broadcast the whole
+// stream without allocating. A multi-chunk stable stream with several
+// children exercises broadcast refcounting and shared run building.
+func TestParallelRunSteadyStatePassAllocFree(t *testing.T) {
+	sets := make([][]int, 300) // ~5 chunks per pass at the default chunk size
+	for i := range sets {
+		sets[i] = []int{i % 64, 64 + (i*7)%192, 256 + (i*13)%256}
+	}
+	s := stream.FromInstance(setsystem.FromSets(512, sets), stream.Adversarial, nil)
+	base := runDriverAllocs(s, 1)
+	long := runDriverAllocs(s, 17)
+	if perPass := (long - base) / 16; perPass >= 1 {
+		t.Fatalf("parallel.Run allocates %.2f objects per steady-state pass (1-pass run: %.1f, 17-pass run: %.1f)",
+			perPass, base, long)
 	}
 }
 

@@ -112,6 +112,14 @@ type Config struct {
 	// cancellation. Cancellation does not perturb determinism: a run either
 	// completes with the usual bit-identical result or returns ctx.Err().
 	Context context.Context
+	// Plan, when non-nil, is a pass-replay recording of the instance
+	// (stream.BuildPlan): Solve serves every item's payload — elements and
+	// prebuilt run list — from the plan while the instance stream still
+	// drives arrival order, so replay is bit-identical under every Order
+	// including RandomEachPass. A serving optimization only: plan bytes are
+	// accounted by the owner (the coverd registry), never in the returned
+	// Accounting, and the experiments harness leaves it nil.
+	Plan *stream.Plan
 }
 
 func (c *Config) withDefaults() Config {
@@ -814,6 +822,17 @@ func (s *Solver) Groups() []*GridRun { return s.groups }
 // order and return the best cover with driver accounting.
 func Solve(inst *setsystem.Instance, order stream.Order, cfg Config, r *rng.RNG) (Result, stream.Accounting, error) {
 	s := stream.FromInstance(inst, order, r.Split("stream-order"))
+	if cfg.Plan != nil {
+		if cfg.Plan.Universe() != inst.N || cfg.Plan.Len() != inst.M() {
+			return Result{}, stream.Accounting{}, fmt.Errorf(
+				"core: replay plan shape (n=%d, m=%d) does not match instance (n=%d, m=%d)",
+				cfg.Plan.Universe(), cfg.Plan.Len(), inst.N, inst.M())
+		}
+		// The instance stream still draws the arrival permutation (so the
+		// RNG discipline and every Order behave exactly as an honest solve);
+		// only the per-item payload comes from the plan.
+		return SolveStream(stream.Replay(s, cfg.Plan), cfg, r)
+	}
 	return SolveStream(s, cfg, r)
 }
 

@@ -1,0 +1,35 @@
+package parallel
+
+import (
+	"testing"
+)
+
+// Allocation-regression guards for ArgMax, which Solve calls once per
+// store-pass chunk: the scratch (partial results, WaitGroup) is pooled, so
+// the inline path must be allocation-free and the parallel path may spend
+// at most the w-1 goroutine spawns it cannot avoid.
+
+func TestArgMaxInlineAllocFree(t *testing.T) {
+	vals := make([]int, minInline-1) // below the threshold: stays inline
+	for i := range vals {
+		vals[i] = (i * 31) % 997
+	}
+	score := func(i int) int { return vals[i] }
+	allocs := testing.AllocsPerRun(200, func() { ArgMax(4, len(vals), score) })
+	if allocs > 0 {
+		t.Fatalf("inline ArgMax allocates %.2f objects/call", allocs)
+	}
+}
+
+func TestArgMaxParallelAllocBound(t *testing.T) {
+	const w = 4
+	vals := make([]int, 4096)
+	for i := range vals {
+		vals[i] = (i * 2654435761) % 100003
+	}
+	score := func(i int) int { return vals[i] }
+	allocs := testing.AllocsPerRun(200, func() { ArgMax(w, len(vals), score) })
+	if allocs > w-1 {
+		t.Fatalf("parallel ArgMax allocates %.2f objects/call, budget %d (goroutine spawns only)", allocs, w-1)
+	}
+}

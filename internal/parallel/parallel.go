@@ -44,6 +44,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"streamcover/internal/bitset"
 	"streamcover/internal/stream"
@@ -120,11 +121,12 @@ func Run(s stream.Stream, children []stream.PassAlgorithm, cfg Config) (stream.A
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
-	stable := stableItems(s)
 	var cancel <-chan struct{}
 	if cfg.Context != nil {
 		cancel = cfg.Context.Done()
 	}
+	p := newPool(min(Workers(cfg.Workers), nc), children, sBegin, sLast, sEnd, passDone)
+	defer p.close()
 	for pass := 0; pass < cfg.MaxPasses; pass++ {
 		if cancel != nil {
 			select {
@@ -143,8 +145,10 @@ func Run(s stream.Stream, children []stream.PassAlgorithm, cfg Config) (stream.A
 			}
 		}
 		s.Reset()
-		items, serr := runPass(s, children, active, pass, Workers(cfg.Workers), chunkSize, stable,
-			cfg.Context, sBegin, sLast, sEnd, passDone)
+		// Stability is queried per pass, after Reset: a stream can become
+		// stable between passes (stream.PlanCache finishes recording at the
+		// end of its first pass and serves immutable plan views thereafter).
+		items, serr := p.runPass(s, active, pass, chunkSize, stableItems(s), cfg.Context)
 		if serr != nil {
 			// Mid-pass stream failure: mirror the sequential driver — account
 			// the partial pass, skip EndPass, surface the error.
@@ -183,112 +187,203 @@ func Run(s stream.Stream, children []stream.PassAlgorithm, cfg Config) (stream.A
 	return acc, stream.ErrPassLimit{Limit: cfg.MaxPasses}
 }
 
-// runPass fans one pass of s out to the active children: a worker pool owns
-// a strided partition of the children while the calling goroutine reads the
-// stream once and broadcasts read-only item chunks. Returns the number of
-// items read and the stream's mid-pass error, if any; on error the workers
-// skip EndPass (matching the sequential driver, which aborts before it).
-// A cancelled ctx (polled once per chunk) surfaces the same way, as a
-// mid-pass failure with ctx.Err().
-func runPass(s stream.Stream, children []stream.PassAlgorithm, active []int,
-	pass, workers, chunkSize int, stable bool, ctx context.Context,
-	sBegin, sLast, sEnd []int, passDone []bool) (int, error) {
-	w := min(workers, len(active))
+// chunk is one broadcast unit: a batch of items plus the chunk-owned
+// arenas their views point into. Chunks are refcounted across the workers
+// they were broadcast to and recycled through the pool's free list once
+// every worker has consumed them, so steady-state passes allocate nothing —
+// algorithms must not retain item views past Observe (the documented Item
+// contract), which is exactly what makes the recycle safe.
+type chunk struct {
+	items     []stream.Item
+	elemArena []int32
+	runArena  []bitset.Run
+	refs      atomic.Int32
+}
+
+// pool is a persistent worker pool spanning all passes of one Run: w
+// goroutines, each owning a static strided partition of the active
+// children, fed per-pass through begin tokens and per-chunk broadcast
+// channels. Keeping the goroutines and chunk storage alive across passes is
+// what turns the per-pass cost from "spawn w goroutines + allocate every
+// arena" into zero steady-state allocation.
+type pool struct {
+	w        int
+	children []stream.PassAlgorithm
+	chans    []chan *chunk // per-worker broadcast; nil chunk = end of pass
+	free     chan *chunk   // recycle channel: consumed chunks come back here
+	begin    []chan struct{}
+	wg       sync.WaitGroup // worker goroutine lifetimes
+	done     sync.WaitGroup // per-pass completion barrier
+
+	// Per-pass coordination state, written by the producer before the begin
+	// tokens are sent (the happens-before edge) and read back only after
+	// done.Wait().
+	active   []int
+	pass     int
+	failed   bool
+	sBegin   []int
+	sLast    []int
+	sEnd     []int
+	passDone []bool
+}
+
+func newPool(w int, children []stream.PassAlgorithm,
+	sBegin, sLast, sEnd []int, passDone []bool) *pool {
 	if w < 1 {
 		w = 1
 	}
-	chans := make([]chan []stream.Item, w)
-	for i := range chans {
-		chans[i] = make(chan []stream.Item, 4)
+	p := &pool{
+		w: w, children: children,
+		chans:  make([]chan *chunk, w),
+		free:   make(chan *chunk, 4*w+4),
+		begin:  make([]chan struct{}, w),
+		sBegin: sBegin, sLast: sLast, sEnd: sEnd, passDone: passDone,
 	}
-	// failed is written by the producer before the channels close and read
-	// by workers only after their channel is drained, so the close is the
-	// happens-before edge.
-	failed := false
-	var wg sync.WaitGroup
+	for i := range p.chans {
+		p.chans[i] = make(chan *chunk, 4)
+		p.begin[i] = make(chan struct{}, 1)
+	}
+	p.wg.Add(w)
 	for wi := 0; wi < w; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			for j := wi; j < len(active); j += w {
-				ci := active[j]
-				children[ci].BeginPass(pass)
-				sBegin[ci] = children[ci].Space()
-				sLast[ci] = sBegin[ci]
+		go p.worker(wi)
+	}
+	return p
+}
+
+// close shuts the worker goroutines down; it must only be called between
+// passes (after runPass returned).
+func (p *pool) close() {
+	for _, ch := range p.begin {
+		close(ch)
+	}
+	p.wg.Wait()
+}
+
+func (p *pool) worker(wi int) {
+	defer p.wg.Done()
+	for range p.begin[wi] {
+		active, pass := p.active, p.pass
+		for j := wi; j < len(active); j += p.w {
+			ci := active[j]
+			p.children[ci].BeginPass(pass)
+			p.sBegin[ci] = p.children[ci].Space()
+			p.sLast[ci] = p.sBegin[ci]
+		}
+		for {
+			ck := <-p.chans[wi]
+			if ck == nil {
+				break
 			}
-			for batch := range chans[wi] {
-				for j := wi; j < len(active); j += w {
-					ci := active[j]
-					c := children[ci]
-					for _, item := range batch {
-						c.Observe(item)
-					}
-					sLast[ci] = c.Space()
+			for j := wi; j < len(active); j += p.w {
+				ci := active[j]
+				c := p.children[ci]
+				for _, item := range ck.items {
+					c.Observe(item)
 				}
+				p.sLast[ci] = c.Space()
 			}
-			if failed {
-				return
-			}
-			for j := wi; j < len(active); j += w {
+			p.release(ck)
+		}
+		// failed was written by the producer before the nil sentinel was
+		// sent, so the receive above is the happens-before edge.
+		if !p.failed {
+			for j := wi; j < len(active); j += p.w {
 				ci := active[j]
-				passDone[ci] = children[ci].EndPass()
-				sEnd[ci] = children[ci].Space()
+				p.passDone[ci] = p.children[ci].EndPass()
+				p.sEnd[ci] = p.children[ci].Space()
 			}
-		}(wi)
+		}
+		p.done.Done()
 	}
-	items := 0
-	batch := make([]stream.Item, 0, chunkSize)
-	// Chunk-owned arenas: unstable items are copied into elemArena (one
-	// amortized allocation per chunk instead of one per item) and every
-	// item's word-mask run list is built once here, into runArena, so all
-	// guesses on all workers share one read-only run list per item. Both
-	// arenas are handed off with the batch and replaced after each flush;
-	// views stay valid even if a later append within the chunk reallocates,
-	// because the copied-out prefix keeps its old backing array. Building a
-	// run list costs about one scalar probe loop and pays from the second
-	// consumer onward, so with a single active child (late passes after the
-	// other guesses finished) the consumer's scalar fallback is cheaper and
-	// the build is skipped.
+}
+
+// release returns a fully consumed chunk to the free list; when the list is
+// full the chunk is simply dropped for the GC.
+func (p *pool) release(ck *chunk) {
+	if ck.refs.Add(-1) == 0 {
+		select {
+		case p.free <- ck:
+		default:
+		}
+	}
+}
+
+// get recycles a chunk from the free list, or allocates a fresh one (cold
+// start, or the free list momentarily drained). Recycled arenas keep their
+// capacity: a warmed pool serves every later pass allocation-free.
+func (p *pool) get(chunkSize int) *chunk {
+	select {
+	case ck := <-p.free:
+		ck.items = ck.items[:0]
+		ck.elemArena = ck.elemArena[:0]
+		ck.runArena = ck.runArena[:0]
+		return ck
+	default:
+		return &chunk{items: make([]stream.Item, 0, chunkSize)}
+	}
+}
+
+// send broadcasts a chunk to every worker, transferring w references.
+func (p *pool) send(ck *chunk) {
+	ck.refs.Store(int32(p.w))
+	for _, ch := range p.chans {
+		ch <- ck
+	}
+}
+
+// runPass fans one pass of s out to the active children: the pool's workers
+// own a strided partition of the children while the calling goroutine reads
+// the stream once and broadcasts read-only item chunks. Returns the number
+// of items read and the stream's mid-pass error, if any; on error the
+// workers skip EndPass (matching the sequential driver, which aborts before
+// it). A cancelled ctx (polled once per chunk) surfaces the same way, as a
+// mid-pass failure with ctx.Err().
+//
+// Chunk-owned arenas: unstable items are copied into elemArena (one
+// amortized copy per chunk instead of an allocation per item) and each
+// item's word-mask run list is built once here, into runArena, so all
+// guesses on all workers share one read-only run list per item. Views stay
+// valid even if a later append within the chunk reallocates, because the
+// copied-out prefix keeps its old backing array. Building a run list costs
+// about one scalar probe loop and pays from the second consumer onward, so
+// with a single active child the consumer's scalar fallback is cheaper and
+// the build is skipped; items that arrive with Runs already attached (a
+// replayed plan) are broadcast as-is.
+func (p *pool) runPass(s stream.Stream, active []int, pass, chunkSize int,
+	stable bool, ctx context.Context) (int, error) {
+	p.active, p.pass, p.failed = active, pass, false
+	p.done.Add(p.w)
+	for _, ch := range p.begin {
+		ch <- struct{}{}
+	}
 	buildRuns := len(active) > 1
-	var (
-		elemArena []int32
-		runArena  []bitset.Run
-	)
-	flush := func() {
-		if len(batch) == 0 {
-			return
-		}
-		for _, ch := range chans {
-			ch <- batch
-		}
-		batch = make([]stream.Item, 0, chunkSize)
-		elemArena = make([]int32, 0, len(elemArena))
-		runArena = make([]bitset.Run, 0, len(runArena))
-	}
 	var cancel <-chan struct{}
 	if ctx != nil {
 		cancel = ctx.Done()
 	}
 	var cancelErr error
+	items := 0
+	ck := p.get(chunkSize)
 	for cancelErr == nil {
 		item, ok := s.Next()
 		if !ok {
 			break
 		}
 		if !stable {
-			start := len(elemArena)
-			elemArena = append(elemArena, item.Elems...)
-			item.Elems = elemArena[start:len(elemArena):len(elemArena)]
+			start := len(ck.elemArena)
+			ck.elemArena = append(ck.elemArena, item.Elems...)
+			item.Elems = ck.elemArena[start:len(ck.elemArena):len(ck.elemArena)]
 		}
-		if buildRuns {
-			start := len(runArena)
-			runArena = bitset.AppendRuns(runArena, item.Elems)
-			item.Runs = runArena[start:len(runArena):len(runArena)]
+		if buildRuns && item.Runs == nil {
+			start := len(ck.runArena)
+			ck.runArena = bitset.AppendRuns(ck.runArena, item.Elems)
+			item.Runs = ck.runArena[start:len(ck.runArena):len(ck.runArena)]
 		}
 		items++
-		batch = append(batch, item)
-		if len(batch) == chunkSize {
-			flush()
+		ck.items = append(ck.items, item)
+		if len(ck.items) == chunkSize {
+			p.send(ck)
+			ck = p.get(chunkSize)
 			if cancel != nil {
 				select {
 				case <-cancel:
@@ -298,22 +393,55 @@ func runPass(s stream.Stream, children []stream.PassAlgorithm, active []int,
 			}
 		}
 	}
-	flush()
+	if len(ck.items) > 0 {
+		p.send(ck)
+	} else {
+		select {
+		case p.free <- ck:
+		default:
+		}
+	}
 	serr := stream.PassErr(s)
 	if serr == nil {
 		serr = cancelErr
 	}
-	failed = serr != nil
-	for _, ch := range chans {
-		close(ch)
+	p.failed = serr != nil
+	for _, ch := range p.chans {
+		ch <- nil
 	}
-	wg.Wait()
+	p.done.Wait()
 	return items, serr
 }
 
 // minInline is the candidate count below which ArgMax runs inline
 // regardless of the worker count: goroutine startup dwarfs the work.
 const minInline = 32
+
+// maxArgMaxWorkers caps the fan-out so the scratch's per-worker result
+// arrays can live inline in the pooled struct instead of per-call slices.
+const maxArgMaxWorkers = 64
+
+// argmaxScratch is the reusable per-call state of a parallel ArgMax:
+// fixed-size result arrays replace the two per-call slice allocations, and
+// the struct (including its WaitGroup) is recycled through a sync.Pool.
+// The remaining per-call cost is one small closure allocation per spawned
+// goroutine — unavoidable with per-call goroutines — bounded by the
+// AllocsPerRun guard in the tests.
+type argmaxScratch struct {
+	wg     sync.WaitGroup
+	w, n   int
+	score  func(i int) int
+	idxs   [maxArgMaxWorkers]int
+	scores [maxArgMaxWorkers]int
+}
+
+var argmaxPool = sync.Pool{New: func() any { return new(argmaxScratch) }}
+
+func (sc *argmaxScratch) run(wi int) {
+	lo, hi := wi*sc.n/sc.w, (wi+1)*sc.n/sc.w
+	sc.idxs[wi], sc.scores[wi] = argMaxRange(lo, hi, sc.score)
+	sc.wg.Done()
+}
 
 // ArgMax returns the index in [0, n) maximizing score, and the maximum
 // itself, evaluating candidates across w workers (w <= 1 runs inline). Ties
@@ -328,29 +456,31 @@ func ArgMax(w, n int, score func(i int) int) (best, bestScore int) {
 	if w > n {
 		w = n
 	}
+	if w > maxArgMaxWorkers {
+		w = maxArgMaxWorkers
+	}
 	if w <= 1 || n < minInline {
 		return argMaxRange(0, n, score)
 	}
-	idxs := make([]int, w)
-	scores := make([]int, w)
-	var wg sync.WaitGroup
-	for wi := 0; wi < w; wi++ {
-		lo, hi := wi*n/w, (wi+1)*n/w
-		wg.Add(1)
-		go func(wi, lo, hi int) {
-			defer wg.Done()
-			idxs[wi], scores[wi] = argMaxRange(lo, hi, score)
-		}(wi, lo, hi)
+	sc := argmaxPool.Get().(*argmaxScratch)
+	sc.w, sc.n, sc.score = w, n, score
+	sc.wg.Add(w - 1)
+	for wi := 1; wi < w; wi++ {
+		go sc.run(wi)
 	}
-	wg.Wait()
+	// The caller's goroutine scans worker 0's range itself instead of
+	// idling in Wait.
+	best, bestScore = argMaxRange(0, n/w, score)
+	sc.wg.Wait()
 	// Workers own ascending contiguous ranges, so combining in worker order
 	// with a strict > keeps the lowest index among maximal scores.
-	best, bestScore = idxs[0], scores[0]
 	for wi := 1; wi < w; wi++ {
-		if scores[wi] > bestScore {
-			best, bestScore = idxs[wi], scores[wi]
+		if sc.scores[wi] > bestScore {
+			best, bestScore = sc.idxs[wi], sc.scores[wi]
 		}
 	}
+	sc.score = nil
+	argmaxPool.Put(sc)
 	return best, bestScore
 }
 

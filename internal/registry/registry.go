@@ -63,6 +63,7 @@ type Registry struct {
 	resident  int64 // heap + mapped, the quantity the budget bounds
 	heap      int64
 	mapped    int64
+	plans     int64 // attached replay-plan bytes, included in resident
 	entries   map[string]*entry
 	lru       *list.List // front = most recently used
 	evictions uint64
@@ -71,10 +72,17 @@ type Registry struct {
 type entry struct {
 	hash   string
 	inst   *setsystem.Instance
-	bytes  int64
-	mapped bool // charged to the mapped ledger; eviction unmaps
+	bytes  int64 // instance footprint, excluding any attached plan
+	mapped bool  // charged to the mapped ledger; eviction unmaps
 	pins   int
 	elem   *list.Element
+	// plan is an optional pass-replay recording riding the entry (the
+	// registry stores it opaquely so it does not depend on the solver
+	// layer). Its bytes are charged to the budget like instance bytes and
+	// it is dropped with the entry on eviction — a plan never outlives the
+	// instance it replays.
+	plan      any
+	planBytes int64
 }
 
 // New returns an empty registry with the configured budget.
@@ -199,7 +207,8 @@ func (r *Registry) oldestUnpinned() *entry {
 func (r *Registry) remove(e *entry) {
 	r.lru.Remove(e.elem)
 	delete(r.entries, e.hash)
-	r.resident -= e.bytes
+	r.resident -= e.bytes + e.planBytes
+	r.plans -= e.planBytes
 	if e.mapped {
 		r.mapped -= e.bytes
 		e.inst.Unmap()
@@ -222,6 +231,10 @@ func (r *Registry) Acquire(hash string) (*setsystem.Instance, func(), error) {
 	}
 	r.lru.MoveToFront(e.elem)
 	e.pins++
+	// A pin means a solve is imminent: hint the kernel to start paging the
+	// mapped arena in now so the first pass overlaps page-in with compute.
+	// Best-effort and a no-op for heap-backed entries.
+	_ = e.inst.Advise(setsystem.AdviseWillNeed)
 	var once sync.Once
 	release := func() {
 		once.Do(func() {
@@ -231,6 +244,47 @@ func (r *Registry) Acquire(hash string) (*setsystem.Instance, func(), error) {
 		})
 	}
 	return e.inst, release, nil
+}
+
+// Plan returns the replay plan attached to the hash, if any, refreshing
+// nothing: plan lookups ride on the instance's own recency.
+func (r *Registry) Plan(hash string) (any, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[hash]
+	if !ok || e.plan == nil {
+		return nil, false
+	}
+	return e.plan, true
+}
+
+// AttachPlan charges bytes against the budget (evicting other unpinned
+// entries if needed) and attaches the plan to the entry. It reports false —
+// and attaches nothing — when the hash is not resident, a plan is already
+// attached (first build wins; callers re-read with Plan), or the bytes do
+// not fit with everything evictable evicted: replay is an optimization, so
+// over-budget plans are simply not kept, never ErrBudget. The entry itself
+// is protected from self-eviction while the charge is made.
+func (r *Registry) AttachPlan(hash string, plan any, bytes int64) bool {
+	if plan == nil || bytes < 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[hash]
+	if !ok || e.plan != nil {
+		return false
+	}
+	e.pins++ // shield the entry from evictFor selecting it
+	ok = r.evictFor(bytes)
+	e.pins--
+	if !ok {
+		return false
+	}
+	e.plan, e.planBytes = plan, bytes
+	r.resident += bytes
+	r.plans += bytes
+	return true
 }
 
 // Contains reports whether the hash is resident (without touching recency).
@@ -254,6 +308,7 @@ func (r *Registry) Stats() Stats {
 		ResidentBytes: r.resident,
 		HeapBytes:     r.heap,
 		MappedBytes:   r.mapped,
+		PlanBytes:     r.plans,
 		BudgetBytes:   r.budget,
 		Evictions:     r.evictions,
 	}
@@ -272,7 +327,8 @@ func (r *Registry) Snapshot() []InstanceInfo {
 		e := el.Value.(*entry)
 		out = append(out, InstanceInfo{
 			Hash: e.hash, N: e.inst.N, M: e.inst.M(), Bytes: e.bytes,
-			Backing: e.inst.Backing().String(),
+			PlanBytes: e.planBytes,
+			Backing:   e.inst.Backing().String(),
 		})
 	}
 	return out

@@ -1,0 +1,124 @@
+package registry
+
+import (
+	"testing"
+
+	"streamcover/internal/setsystem"
+)
+
+func TestAttachPlanChargesBudgetAndStats(t *testing.T) {
+	r := New(Config{})
+	hash, _, err := r.Put(mkInst(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Plan(hash); ok {
+		t.Fatal("fresh entry should have no plan")
+	}
+	plan := &struct{ tag int }{tag: 1}
+	if !r.AttachPlan(hash, plan, 1024) {
+		t.Fatal("AttachPlan failed on a resident entry with room")
+	}
+	got, ok := r.Plan(hash)
+	if !ok || got != any(plan) {
+		t.Fatalf("Plan returned %v/%v, want the attached plan", got, ok)
+	}
+	st := r.Stats()
+	if st.PlanBytes != 1024 {
+		t.Fatalf("PlanBytes = %d, want 1024", st.PlanBytes)
+	}
+	if st.ResidentBytes != st.HeapBytes+st.PlanBytes {
+		t.Fatalf("resident split off: %+v", st)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].PlanBytes != 1024 {
+		t.Fatalf("snapshot plan bytes: %+v", snap)
+	}
+	// First build wins: a second attach is refused, the original stays.
+	if r.AttachPlan(hash, &struct{ tag int }{tag: 2}, 64) {
+		t.Fatal("second AttachPlan should be refused")
+	}
+	if got, _ := r.Plan(hash); got != any(plan) {
+		t.Fatal("losing attach replaced the plan")
+	}
+}
+
+func TestAttachPlanUnknownOrOversized(t *testing.T) {
+	r := New(Config{BudgetBytes: 4 * setsystem.SizeBytes(mkInst(0))})
+	if r.AttachPlan("nope", &struct{}{}, 8) {
+		t.Fatal("AttachPlan on unknown hash should fail")
+	}
+	hash, _, err := r.Put(mkInst(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A plan bigger than the whole budget never fits; the entry must not be
+	// sacrificed to make room for its own plan.
+	if r.AttachPlan(hash, &struct{}{}, r.Stats().BudgetBytes+1) {
+		t.Fatal("oversized plan should be refused")
+	}
+	if !r.Contains(hash) {
+		t.Fatal("entry evicted while attaching its own plan")
+	}
+	if st := r.Stats(); st.PlanBytes != 0 {
+		t.Fatalf("failed attach leaked %d plan bytes", st.PlanBytes)
+	}
+}
+
+func TestPlanDroppedOnEviction(t *testing.T) {
+	one := setsystem.SizeBytes(mkInst(0))
+	r := New(Config{BudgetBytes: 3 * one})
+	h1, _, err := r.Put(mkInst(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.AttachPlan(h1, &struct{}{}, one/2) {
+		t.Fatal("attach failed with room to spare")
+	}
+	// Admit instances until h1 (the LRU victim, plan and all) is evicted.
+	for tag := 2; r.Contains(h1); tag++ {
+		if _, _, err := r.Put(mkInst(tag)); err != nil {
+			t.Fatal(err)
+		}
+		if tag > 16 {
+			t.Fatal("h1 never evicted")
+		}
+	}
+	if _, ok := r.Plan(h1); ok {
+		t.Fatal("plan survived its instance's eviction")
+	}
+	st := r.Stats()
+	if st.PlanBytes != 0 {
+		t.Fatalf("evicted plan still charged: %+v", st)
+	}
+	if st.ResidentBytes != st.HeapBytes {
+		t.Fatalf("resident accounting off after plan eviction: %+v", st)
+	}
+}
+
+func TestAttachPlanEvictsOthersForRoom(t *testing.T) {
+	one := setsystem.SizeBytes(mkInst(0))
+	r := New(Config{BudgetBytes: 2 * one})
+	h1, _, err := r.Put(mkInst(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := r.Put(mkInst(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No headroom: attaching a plan to h2 must evict h1 (LRU, unpinned),
+	// not fail and not evict h2 itself.
+	if !r.AttachPlan(h2, &struct{}{}, one/2) {
+		t.Fatal("attach should have made room by evicting the LRU entry")
+	}
+	if r.Contains(h1) {
+		t.Fatal("LRU entry not evicted for plan room")
+	}
+	if !r.Contains(h2) {
+		t.Fatal("plan's own entry was evicted")
+	}
+	if st := r.Stats(); st.ResidentBytes > st.BudgetBytes {
+		t.Fatalf("budget invariant broken: %+v", st)
+	}
+}

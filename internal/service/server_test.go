@@ -228,9 +228,13 @@ func TestHealthAndStats(t *testing.T) {
 		t.Fatalf("registry stats %+v / %+v", st.Registry, st.Instances)
 	}
 	// The resident-bytes split is part of the wire contract: an uploaded
-	// (heap-decoded) instance is all heap, no mapped bytes.
-	if st.Registry.HeapBytes != st.Registry.ResidentBytes || st.Registry.MappedBytes != 0 {
-		t.Fatalf("heap/mapped split off for a heap entry: %+v", st.Registry)
+	// (heap-decoded) instance is all heap plus the replay plan built lazily
+	// by its first solve, no mapped bytes.
+	if st.Registry.HeapBytes+st.Registry.PlanBytes != st.Registry.ResidentBytes || st.Registry.MappedBytes != 0 {
+		t.Fatalf("heap/plan/mapped split off for a heap entry: %+v", st.Registry)
+	}
+	if st.Registry.PlanBytes <= 0 || st.Instances[0].PlanBytes != st.Registry.PlanBytes {
+		t.Fatalf("first solve should have attached a replay plan: %+v / %+v", st.Registry, st.Instances)
 	}
 	if st.Instances[0].Backing != "heap" {
 		t.Fatalf("instance backing = %q, want heap", st.Instances[0].Backing)

@@ -210,6 +210,15 @@ type Config struct {
 	// jobs are never pruned; they are bounded by Slots+QueueDepth anyway.
 	// Default 4096.
 	MaxJobs int
+	// DisableReplay turns the pass-replay plane off: no plans are built or
+	// attached, and every solve streams honestly each pass. The default
+	// (false) builds a replay plan lazily the first time an instance is
+	// solved with the multi-pass setcover algorithm and serves all later
+	// passes — of that job and every subsequent one on the instance — from
+	// it. Replay never changes results (bit-identical by construction and
+	// by the replay-parity tests); plan bytes are charged to the registry
+	// budget and reported as plan_bytes in /v1/stats.
+	DisableReplay bool
 }
 
 func (c Config) withDefaults() Config {
@@ -452,6 +461,38 @@ func (s *Scheduler) cacheStoreLocked(key string, res *SolveResult) {
 	s.cacheFIFO = append(s.cacheFIFO, key)
 }
 
+// replayPlan returns the pass-replay plan for the instance, building it
+// lazily on the first multi-pass solve and attaching it to the registry
+// entry (which charges the plan's bytes to the memory budget and drops the
+// plan if the instance is evicted). Returns nil — and the solve streams
+// honestly — when replay is disabled or the plan does not fit the budget.
+// Concurrent first solves may each build a plan; the registry keeps exactly
+// one and the losers serve their own copy for just their job.
+func (s *Scheduler) replayPlan(inst *streamcover.Instance, hash string) *streamcover.ReplayPlan {
+	if s.cfg.DisableReplay {
+		return nil
+	}
+	if p, ok := s.reg.Plan(hash); ok {
+		plan, _ := p.(*streamcover.ReplayPlan)
+		return plan
+	}
+	plan, err := streamcover.BuildReplayPlan(inst)
+	if err != nil {
+		return nil
+	}
+	if !s.reg.AttachPlan(hash, plan, plan.Bytes()) {
+		if p, ok := s.reg.Plan(hash); ok {
+			// Lost a build race: use the attached winner.
+			if attached, k := p.(*streamcover.ReplayPlan); k {
+				return attached
+			}
+		}
+		// Over budget: still worth using for this one job — the bytes are
+		// transient (job-lifetime, like any solve scratch), not resident.
+	}
+	return plan
+}
+
 // solve dispatches one job to the right solver, threading the job context
 // and the per-job worker budget.
 func (s *Scheduler) solve(ctx context.Context, inst *streamcover.Instance, req SolveRequest) (*SolveResult, error) {
@@ -474,6 +515,9 @@ func (s *Scheduler) solve(ctx context.Context, inst *streamcover.Instance, req S
 		}
 		if req.OptimumHint > 0 {
 			opts = append(opts, streamcover.WithOptimumHint(req.OptimumHint))
+		}
+		if plan := s.replayPlan(inst, req.Instance); plan != nil {
+			opts = append(opts, streamcover.WithReplayPlan(plan))
 		}
 		res, err := streamcover.SolveSetCover(inst, opts...)
 		if err != nil {

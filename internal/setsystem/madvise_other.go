@@ -1,0 +1,9 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package setsystem
+
+// madviseAvailable reports that this build has no madvise; Advise is a
+// silent no-op (hints are optional by definition).
+const madviseAvailable = false
+
+func madviseData(_ []byte, _ Advice) error { return nil }

@@ -1,0 +1,25 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package setsystem
+
+import "syscall"
+
+// madviseAvailable reports that this build can pass paging hints to the
+// kernel. Gated on the explicit OS list (not `unix`) because syscall
+// does not define Madvise on every unix port.
+const madviseAvailable = true
+
+// madviseData forwards an access-pattern hint for the mapped pages.
+func madviseData(data []byte, a Advice) error {
+	if len(data) == 0 {
+		return nil
+	}
+	adv := syscall.MADV_NORMAL
+	switch a {
+	case AdviseSequential:
+		adv = syscall.MADV_SEQUENTIAL
+	case AdviseWillNeed:
+		adv = syscall.MADV_WILLNEED
+	}
+	return syscall.Madvise(data, adv)
+}

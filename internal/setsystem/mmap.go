@@ -42,6 +42,37 @@ func (in *Instance) Backing() Backing { return in.backing }
 // for heap-backed instances.
 func (in *Instance) MappedBytes() int64 { return in.mappedBytes }
 
+// Advice is an access-pattern hint for the pages backing a mapped
+// instance, forwarded to the kernel via madvise where available.
+type Advice int
+
+const (
+	// AdviseSequential hints that the mapping will be read front to back
+	// (streaming passes walk the CSR arena in offset order), enabling
+	// aggressive kernel readahead. Map applies it to every new mapping.
+	AdviseSequential Advice = iota
+	// AdviseWillNeed hints that the whole mapping is about to be used,
+	// prompting the kernel to start paging it in now. The registry issues
+	// it when an instance is pinned for a solve, so the first pass overlaps
+	// page-in with compute instead of faulting page by page.
+	AdviseWillNeed
+)
+
+// Advise passes an access-pattern hint for the instance's mapped pages to
+// the kernel. It is a no-op (and nil) on heap-backed or already-unmapped
+// instances and on platforms without madvise: hints are best-effort by
+// definition, so callers typically ignore the error.
+func (in *Instance) Advise(a Advice) error {
+	if in.mapData == nil {
+		return nil
+	}
+	return madviseData(in.mapData, a)
+}
+
+// AdviseSupported reports whether Advise reaches a real madvise on this
+// build.
+func AdviseSupported() bool { return madviseAvailable }
+
 // Unmap releases the mapping behind a mapped instance and invalidates it:
 // the CSR views are nilled so later use fails fast instead of touching
 // unmapped memory. It is idempotent and a no-op on heap instances.
@@ -53,6 +84,7 @@ func (in *Instance) Unmap() error {
 	in.unmap = nil
 	in.offsets, in.elems = nil, nil
 	in.mappedBytes = 0
+	in.mapData = nil
 	return u()
 }
 
@@ -127,8 +159,12 @@ func Map(path string) (*Instance, error) {
 		N: h.n, offsets: offsets, elems: elems,
 		backing:     BackingMapped,
 		mappedBytes: size,
+		mapData:     data,
 		unmap:       func() error { return munmapFile(data) },
 	}
+	// Streaming passes (and the validation scan below) walk the arena front
+	// to back; tell the kernel so readahead works with us. Best-effort.
+	_ = in.Advise(AdviseSequential)
 	// One sequential, allocation-free scan stands in for the decode pass:
 	// offsets must be monotone before Set(i) may slice, then Validate checks
 	// element range and per-set ordering on the mapped bytes directly.

@@ -41,10 +41,12 @@ type Instance struct {
 	elems   []int32 // flat element arena
 
 	// Mapped instances (Map) view an mmap'd SCB2 file instead of owning
-	// heap arrays; see Backing/MappedBytes/Unmap in mmap.go. The zero
-	// values describe an ordinary heap instance.
+	// heap arrays; see Backing/MappedBytes/Unmap in mmap.go. mapData is
+	// the raw mapping, retained so Advise can pass paging hints to the
+	// kernel. The zero values describe an ordinary heap instance.
 	backing     Backing
 	mappedBytes int64
+	mapData     []byte
 	unmap       func() error
 }
 

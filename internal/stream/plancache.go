@@ -1,0 +1,439 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"streamcover/internal/bitset"
+)
+
+// This file is the pass-replay plane: a recording of one full pass —
+// per-set elements plus the prebuilt word-mask run list — that serves every
+// later pass from memory. A p-pass solve reads the same m sets p times; the
+// first pass pays the full decode + run-build price once and the remaining
+// p-1 passes become O(1) per item with zero allocation. The recording is a
+// serving optimization, not algorithm state: it is never charged to
+// Accounting.PeakSpace (the paper's space accounting stays honest) and the
+// experiments harness keeps it off. Budgeting is the caller's job — the
+// coverd registry charges Plan.Bytes against its resident-memory budget and
+// drops the plan on eviction; PlanCache enforces a byte budget directly and
+// degrades to passthrough when the instance exceeds it.
+
+// ErrPlanBudget is returned by BuildPlan when recording the stream would
+// exceed the byte budget.
+var ErrPlanBudget = errors.New("stream: replay plan exceeds byte budget")
+
+// planSetOverheadBytes is the accounted fixed cost per recorded set: two
+// slice headers in the per-ID tables plus the arrival-order and bookkeeping
+// entries, rounded up.
+const planSetOverheadBytes = 64
+
+// Plan is an immutable recording of a stream's items, indexed by set ID:
+// each set's elements (aliased into the source's stable storage when
+// possible, else copied into one contiguous arena) and its bitset.Run list
+// (always one contiguous arena, built once). A Plan is read-only after
+// construction and safe to share across concurrent solves.
+type Plan struct {
+	n, m  int
+	elems [][]int32
+	runs  [][]bitset.Run
+	bytes int64
+}
+
+// Universe returns the recorded universe size n.
+func (p *Plan) Universe() int { return p.n }
+
+// Len returns the recorded number of sets m.
+func (p *Plan) Len() int { return p.m }
+
+// Bytes returns the accounted size of the plan: copied element words,
+// run-list entries, and per-set table overhead. Elements aliased into the
+// source's own storage are not charged (that memory is already accounted to
+// the source).
+func (p *Plan) Bytes() int64 { return p.bytes }
+
+// Item returns the recorded item for the given set ID, with the shared
+// run list attached. The views are immutable and valid for the life of the
+// plan.
+func (p *Plan) Item(id int) Item {
+	return Item{ID: id, Elems: p.elems[id], Runs: p.runs[id]}
+}
+
+// planBuilder accumulates one pass of items into the plan arenas. Offsets
+// into the logical arenas are stable under append (a reallocation copies the
+// prefix), so per-ID slice headers are materialized only at finalize; the
+// views handed back to the recording pass's consumer alias whatever backing
+// the arena had at record time and stay valid for the rest of the pass.
+type planBuilder struct {
+	n, m   int
+	alias  bool
+	budget int64 // <= 0 means unlimited
+
+	views   [][]int32 // alias mode: per-ID views into the source's storage
+	elems   []int32   // copy mode: one contiguous element arena
+	elemOff []int64   // copy mode: per-ID arena offsets
+	elemLen []int32
+	runs    []bitset.Run
+	runOff  []int64
+	runLen  []int32
+	seen    []bool
+	count   int
+}
+
+func newPlanBuilder(n, m int, alias bool, budget int64) *planBuilder {
+	b := &planBuilder{n: n, m: m, alias: alias, budget: budget}
+	if alias {
+		b.views = make([][]int32, m)
+	} else {
+		b.elemOff = make([]int64, m)
+		b.elemLen = make([]int32, m)
+	}
+	b.runOff = make([]int64, m)
+	b.runLen = make([]int32, m)
+	b.seen = make([]bool, m)
+	return b
+}
+
+// reset discards a partial recording (cancelled pass) keeping the arena
+// capacity for the re-record.
+func (b *planBuilder) reset() {
+	clear(b.seen)
+	b.count = 0
+	b.elems = b.elems[:0]
+	b.runs = b.runs[:0]
+}
+
+func (b *planBuilder) bytes() int64 {
+	return int64(b.count)*planSetOverheadBytes +
+		int64(len(b.elems))*4 + int64(len(b.runs))*16
+}
+
+// record stores one item and returns it with plan-backed views (and the
+// freshly built run list) attached. It fails on an ID outside [0, m), a
+// duplicate ID within the pass, or a blown byte budget; on failure the
+// caller's original item is untouched.
+func (b *planBuilder) record(it Item) (Item, error) {
+	id := it.ID
+	if id < 0 || id >= b.m {
+		return Item{}, fmt.Errorf("stream: replay plan: set id %d out of range [0, %d)", id, b.m)
+	}
+	if b.seen[id] {
+		return Item{}, fmt.Errorf("stream: replay plan: duplicate set id %d within a pass", id)
+	}
+	b.seen[id] = true
+	elems := it.Elems
+	if b.alias {
+		b.views[id] = elems
+	} else {
+		start := len(b.elems)
+		b.elems = append(b.elems, elems...)
+		elems = b.elems[start:len(b.elems):len(b.elems)]
+		b.elemOff[id], b.elemLen[id] = int64(start), int32(len(elems))
+	}
+	rs := len(b.runs)
+	if it.Runs != nil {
+		b.runs = append(b.runs, it.Runs...)
+	} else {
+		b.runs = bitset.AppendRuns(b.runs, elems)
+	}
+	runs := b.runs[rs:len(b.runs):len(b.runs)]
+	b.runOff[id], b.runLen[id] = int64(rs), int32(len(runs))
+	b.count++
+	if b.budget > 0 && b.bytes() > b.budget {
+		return Item{}, ErrPlanBudget
+	}
+	it.Elems, it.Runs = elems, runs
+	return it, nil
+}
+
+// finalize materializes the per-ID slice headers and returns the immutable
+// plan. The builder must have recorded exactly m distinct IDs.
+func (b *planBuilder) finalize() *Plan {
+	p := &Plan{n: b.n, m: b.m, bytes: b.bytes()}
+	p.runs = make([][]bitset.Run, b.m)
+	for id := 0; id < b.m; id++ {
+		off, ln := b.runOff[id], int64(b.runLen[id])
+		p.runs[id] = b.runs[off : off+ln : off+ln]
+	}
+	if b.alias {
+		p.elems = b.views
+		return p
+	}
+	p.elems = make([][]int32, b.m)
+	for id := 0; id < b.m; id++ {
+		off, ln := b.elemOff[id], int64(b.elemLen[id])
+		p.elems[id] = b.elems[off : off+ln : off+ln]
+	}
+	return p
+}
+
+// sourceStable mirrors parallel.Stable without importing the package (that
+// would cycle): true when the stream's items alias storage that outlives the
+// pass, so the plan may alias them instead of copying.
+func sourceStable(s Stream) bool {
+	st, ok := s.(interface{ StableItems() bool })
+	return ok && st.StableItems()
+}
+
+// BuildPlan records one full pass of s (Reset + drain) and returns the
+// plan. budget <= 0 means unlimited; a blown budget returns ErrPlanBudget.
+// A stream failure or short pass surfaces as an error — a plan is only ever
+// a complete, validated recording.
+func BuildPlan(s Stream, budget int64) (*Plan, error) {
+	b := newPlanBuilder(s.Universe(), s.Len(), sourceStable(s), budget)
+	s.Reset()
+	for {
+		it, ok := s.Next()
+		if !ok {
+			break
+		}
+		if _, err := b.record(it); err != nil {
+			return nil, err
+		}
+	}
+	if err := PassErr(s); err != nil {
+		return nil, err
+	}
+	if b.count != b.m {
+		return nil, fmt.Errorf("stream: replay plan: recorded %d of %d sets", b.count, b.m)
+	}
+	return b.finalize(), nil
+}
+
+// ReplayStream drives a source stream for arrival order only — each Next
+// consumes the source item just for its ID and serves the recorded payload
+// (elements + prebuilt runs) from the plan. This is the universally correct
+// replay mode: the ID→elements mapping is fixed across passes even when the
+// arrival permutation is not (RandomEachPass draws a fresh shuffle from the
+// source's RNG on every Reset, exactly as an honest re-stream would).
+type ReplayStream struct {
+	src  Stream
+	plan *Plan
+}
+
+// Replay wraps src so every item's payload is served from the plan. The
+// plan must have been recorded from a stream over the same instance.
+func Replay(src Stream, plan *Plan) *ReplayStream {
+	return &ReplayStream{src: src, plan: plan}
+}
+
+// Universe implements Stream.
+func (rs *ReplayStream) Universe() int { return rs.src.Universe() }
+
+// Len implements Stream.
+func (rs *ReplayStream) Len() int { return rs.src.Len() }
+
+// Reset implements Stream: the source still starts its pass (advancing its
+// permutation RNG when the order demands it).
+func (rs *ReplayStream) Reset() { rs.src.Reset() }
+
+// Next implements Stream.
+func (rs *ReplayStream) Next() (Item, bool) {
+	it, ok := rs.src.Next()
+	if !ok {
+		return Item{}, false
+	}
+	if id := it.ID; id >= 0 && id < rs.plan.m {
+		return rs.plan.Item(id), true
+	}
+	return it, true
+}
+
+// StableItems reports that plan-backed views are immutable for the life of
+// the plan, so concurrent drivers broadcast them without copying.
+func (rs *ReplayStream) StableItems() bool { return true }
+
+// Err implements Failer, forwarding the source's error.
+func (rs *ReplayStream) Err() error { return PassErr(rs.src) }
+
+// PlanCache states.
+const (
+	planIdle      = iota // before the first Reset
+	planRecording        // first pass: passthrough + record
+	planReady            // plan complete: serve passes from memory
+	planDisabled         // over budget or malformed source: passthrough forever
+)
+
+// PlanCache wraps any Stream and amortizes its per-pass cost: the first
+// pass streams honestly from the source while recording every item; every
+// later pass is served from the recorded plan. Two replay modes, chosen by
+// the source's arrival order:
+//
+//   - sequence replay (orders that repeat each pass — Adversarial,
+//     RandomOnce, and every file-backed stream): the source is never touched
+//     again, eliminating re-decode entirely;
+//   - ID replay (RandomEachPass, or sources whose order is unknown): the
+//     source still drives the arrival order — drawing the same fresh
+//     permutation an honest re-stream would — but each item's payload comes
+//     from the plan, eliminating the per-pass run rebuild.
+//
+// If recording would exceed the byte budget the cache degrades to pure
+// passthrough: the stream behaves exactly as if unwrapped, paying the
+// honest per-pass price. A pass abandoned mid-way (cancellation) discards
+// the partial recording and re-records on the next Reset.
+type PlanCache struct {
+	src       Stream
+	budget    int64
+	alias     bool // source items are stable → plan aliases them
+	seq       bool // arrival order repeats each pass → sequence replay
+	srcStable bool
+
+	state int
+	bld   *planBuilder
+	plan  *Plan
+	order []int32 // arrival order of the recorded pass (sequence replay)
+	pos   int
+}
+
+// NewPlanCache wraps src in a pass-replay cache with the given byte budget
+// (<= 0 means unlimited). The wrapped stream is bit-identical to src under
+// every driver; Close forwards to src when it is an io.Closer.
+func NewPlanCache(src Stream, budget int64) *PlanCache {
+	pc := &PlanCache{src: src, budget: budget}
+	pc.srcStable = sourceStable(src)
+	pc.alias = pc.srcStable
+	if o, ok := src.(Ordered); ok {
+		pc.seq = o.ArrivalOrder() != RandomEachPass
+	}
+	if m := src.Len(); budget > 0 && int64(m)*planSetOverheadBytes > budget {
+		// The per-set tables alone blow the budget: never record.
+		pc.state = planDisabled
+	}
+	return pc
+}
+
+// Universe implements Stream.
+func (pc *PlanCache) Universe() int { return pc.src.Universe() }
+
+// Len implements Stream.
+func (pc *PlanCache) Len() int { return pc.src.Len() }
+
+// Reset implements Stream.
+func (pc *PlanCache) Reset() {
+	switch pc.state {
+	case planReady:
+		if pc.seq {
+			pc.pos = 0
+			return // the source is never touched again
+		}
+		pc.src.Reset()
+	case planDisabled:
+		pc.src.Reset()
+	default:
+		// Idle, or a recording abandoned mid-pass: (re-)record this pass,
+		// discarding any partial arrival-order prefix.
+		pc.src.Reset()
+		if pc.bld == nil {
+			pc.bld = newPlanBuilder(pc.src.Universe(), pc.src.Len(), pc.alias, pc.budget)
+		} else {
+			pc.bld.reset()
+		}
+		pc.order = pc.order[:0]
+		pc.state = planRecording
+	}
+}
+
+// Next implements Stream.
+func (pc *PlanCache) Next() (Item, bool) {
+	switch pc.state {
+	case planReady:
+		if pc.seq {
+			if pc.pos >= len(pc.order) {
+				return Item{}, false
+			}
+			id := int(pc.order[pc.pos])
+			pc.pos++
+			return pc.plan.Item(id), true
+		}
+		it, ok := pc.src.Next()
+		if !ok {
+			return Item{}, false
+		}
+		if id := it.ID; id >= 0 && id < pc.plan.m {
+			return pc.plan.Item(id), true
+		}
+		return it, true
+	case planRecording:
+		it, ok := pc.src.Next()
+		if !ok {
+			pc.finishRecording()
+			return Item{}, false
+		}
+		rec, err := pc.bld.record(it)
+		if err != nil {
+			// Over budget or malformed: hand back the honest item and stop
+			// trying — passthrough from here on.
+			pc.disable()
+			return it, true
+		}
+		if pc.seq {
+			pc.order = append(pc.order, int32(rec.ID))
+		}
+		return rec, true
+	default:
+		return pc.src.Next()
+	}
+}
+
+// finishRecording promotes a cleanly completed recording pass to a ready
+// plan. A source error or short pass discards the recording (the driver
+// will surface the source's own error); the next Reset re-records.
+func (pc *PlanCache) finishRecording() {
+	if PassErr(pc.src) != nil || pc.bld.count != pc.bld.m {
+		pc.state = planIdle
+		pc.order = pc.order[:0]
+		return
+	}
+	pc.plan = pc.bld.finalize()
+	pc.bld = nil
+	pc.state = planReady
+}
+
+func (pc *PlanCache) disable() {
+	pc.bld = nil
+	pc.order = nil
+	pc.state = planDisabled
+}
+
+// StableItems reports whether items are safe to broadcast without copying:
+// always true once the plan is ready (plan views are immutable), otherwise
+// the source's own stability — during the recording pass consumers still
+// see source-backed views, and after a budget blow-out they always will.
+// Concurrent drivers query this per pass.
+func (pc *PlanCache) StableItems() bool {
+	if pc.state == planReady {
+		return true
+	}
+	return pc.srcStable
+}
+
+// Err implements Failer, forwarding the source's error. In sequence-replay
+// mode the source completed its last pass cleanly and is never touched
+// again, so its error stays nil.
+func (pc *PlanCache) Err() error { return PassErr(pc.src) }
+
+// Close forwards to the source when it is an io.Closer, so a PlanCache
+// over a file-backed stream satisfies FileBacked.
+func (pc *PlanCache) Close() error {
+	if c, ok := pc.src.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Ready reports whether a completed plan is serving passes.
+func (pc *PlanCache) Ready() bool { return pc.state == planReady }
+
+// Disabled reports whether the cache degraded to passthrough (budget
+// exceeded or malformed source).
+func (pc *PlanCache) Disabled() bool { return pc.state == planDisabled }
+
+// PlanBytes returns the accounted size of the completed plan, or 0 while
+// recording, disabled, or idle.
+func (pc *PlanCache) PlanBytes() int64 {
+	if pc.state == planReady {
+		return pc.plan.Bytes()
+	}
+	return 0
+}

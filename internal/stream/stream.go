@@ -91,6 +91,16 @@ const (
 	RandomEachPass
 )
 
+// Ordered is implemented by streams that know their arrival order. The
+// pass-replay plane uses it to pick a replay mode: orders that repeat every
+// pass (Adversarial, RandomOnce) can be replayed without touching the
+// source again, while RandomEachPass must keep driving the source so each
+// pass draws the same fresh permutation an honest re-stream would. Streams
+// that do not implement it get the conservative ID-driven replay.
+type Ordered interface {
+	ArrivalOrder() Order
+}
+
 func (o Order) String() string {
 	switch o {
 	case Adversarial:
@@ -163,6 +173,9 @@ func (s *InstanceStream) Next() (Item, bool) {
 // storage, which is never mutated: items stay valid across the whole run, so
 // concurrent drivers may broadcast them without copying.
 func (s *InstanceStream) StableItems() bool { return true }
+
+// ArrivalOrder implements Ordered.
+func (s *InstanceStream) ArrivalOrder() Order { return s.order }
 
 // PassAlgorithm is the state-machine shape of a multi-pass streaming
 // algorithm. The Driver calls BeginPass, then Observe for every item of the

@@ -1,0 +1,134 @@
+package streamcover
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamcover/internal/core"
+	"streamcover/internal/stream"
+)
+
+// Replay-plane benchmarks (make bench-json records them in
+// BENCH_replay.json): a multi-pass solve over a binary file pays the
+// varint decode once per pass; the plan cache pays it once per solve and
+// serves later passes from an in-memory arena with prebuilt run lists.
+
+// benchReplayInstance is sized so per-pass decode dominates the solve: a
+// planted instance with a known optimum lets the benchmark pin the guess
+// grid to a single õpt (Algorithm 1 proper, Theorem 2's statement), and
+// the wide universe keeps the sampling rate p = C·õpt·ln(m)/n^{1-1/α}
+// small so the per-iteration sub-solves stay cheap relative to re-reading
+// ~10M elements per pass. α=3 below means 7 passes per solve.
+func benchReplayInstance() (*Instance, int) {
+	inst, planted := GeneratePlanted(1, 1<<16, 2048, 8)
+	return inst, len(planted)
+}
+
+func writeBenchSCB1(b *testing.B, inst *Instance) string {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "replay.scb1")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteInstanceBinary(f, inst); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// benchSolveFile measures steady-state serving cost: the stream (and, on
+// the replay leg, the plan cache) lives across solves, as in coverd, where
+// the plan is built lazily on the first job and attached to the registry
+// entry for every job after. The first iteration's recording pass is
+// amortized over b.N like any warm-up.
+func benchSolveFile(b *testing.B, replay bool) {
+	inst, opt := benchReplayInstance()
+	path := writeBenchSCB1(b, inst)
+	cfg := core.Config{Alpha: 3, SampleC: 2, OptGuesses: []int{opt}}
+	fs, err := stream.OpenBinaryFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var src stream.Stream = fs
+	if replay {
+		pc := stream.NewPlanCache(fs, 0)
+		defer pc.Close()
+		src = pc
+	} else {
+		defer fs.Close()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := core.SolveStream(src, cfg, core.SolveFileRNG(7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Feasible {
+			b.Fatal("solve infeasible; benchmark workload drifted")
+		}
+	}
+}
+
+// BenchmarkSolveFileReplay compares multi-pass SCB1 file solves served
+// from a plan cache (decode once, every later pass from memory) against
+// honest re-decoding of every pass of every solve.
+func BenchmarkSolveFileReplay(b *testing.B) {
+	b.Run("on", func(b *testing.B) { benchSolveFile(b, true) })
+	b.Run("off", func(b *testing.B) { benchSolveFile(b, false) })
+}
+
+// BenchmarkPassOverhead isolates the per-pass stream cost the solver pays:
+// one full drain of every item, honest (re-decode) vs replay (plan-backed
+// views, runs prebuilt).
+func BenchmarkPassOverhead(b *testing.B) {
+	inst, _ := benchReplayInstance()
+	path := writeBenchSCB1(b, inst)
+	drain := func(b *testing.B, s stream.Stream) {
+		s.Reset()
+		items := 0
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			items++
+		}
+		if err := stream.PassErr(s); err != nil {
+			b.Fatal(err)
+		}
+		if items != s.Len() {
+			b.Fatalf("pass read %d of %d sets", items, s.Len())
+		}
+	}
+	b.Run("honest", func(b *testing.B) {
+		fs, err := stream.OpenBinaryFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer fs.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			drain(b, fs)
+		}
+	})
+	b.Run("replay", func(b *testing.B) {
+		fs, err := stream.OpenBinaryFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pc := stream.NewPlanCache(fs, 0)
+		defer pc.Close()
+		drain(b, pc) // recording pass: decode once, build the plan
+		if !pc.Ready() {
+			b.Fatal("plan cache not ready after the recording pass")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			drain(b, pc)
+		}
+	})
+}

@@ -102,6 +102,7 @@ type options struct {
 	optHint   int
 	workers   int
 	ctx       context.Context
+	plan      *ReplayPlan
 }
 
 func defaultOptions() options {
@@ -160,6 +161,41 @@ func WithContext(ctx context.Context) Option { return func(o *options) { o.ctx =
 // the package documentation for the determinism contract.
 func WithParallelism(p int) Option { return func(o *options) { o.workers = p } }
 
+// ReplayPlan is a pass-replay recording of an instance: every set's
+// elements (aliased into the instance's arena) plus its prebuilt word-mask
+// run list, built once by BuildReplayPlan and served to every pass of a
+// solve via WithReplayPlan. Replay is bit-identical to an honest solve
+// under every arrival order and seed — the instance stream still draws the
+// arrival permutation; only the per-item payload comes from the plan — and
+// is a serving optimization only: plan bytes are never charged to the
+// solve's reported space (coverd's registry accounts them against its
+// memory budget instead). A plan is immutable and safe to share across
+// concurrent solves of the same instance.
+type ReplayPlan struct {
+	plan *stream.Plan
+}
+
+// BuildReplayPlan records inst once and returns a plan usable by any
+// number of subsequent solves over the same instance.
+func BuildReplayPlan(inst *Instance) (*ReplayPlan, error) {
+	p, err := stream.BuildPlan(stream.FromInstance(inst, Adversarial, nil), 0)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayPlan{plan: p}, nil
+}
+
+// Bytes returns the accounted size of the plan in bytes (run lists plus
+// per-set table overhead; the elements alias the instance's own arena and
+// are charged to the instance).
+func (p *ReplayPlan) Bytes() int64 { return p.plan.Bytes() }
+
+// WithReplayPlan serves every pass's item payloads from a prebuilt plan
+// instead of re-deriving them (see ReplayPlan). The plan must have been
+// built from the same instance passed to SolveSetCover; a mismatched plan
+// fails the solve. nil is allowed and means no replay.
+func WithReplayPlan(p *ReplayPlan) Option { return func(o *options) { o.plan = p } }
+
 // SetCoverResult reports a streaming set cover run.
 type SetCoverResult struct {
 	// Cover is the chosen set indices, sorted, covering the universe.
@@ -182,6 +218,9 @@ func SolveSetCover(inst *Instance, opts ...Option) (SetCoverResult, error) {
 		opt(&o)
 	}
 	cfg := core.Config{Alpha: o.alpha, Epsilon: o.eps, SampleC: o.sampleC, Workers: o.workers, Context: o.ctx}
+	if o.plan != nil {
+		cfg.Plan = o.plan.plan
+	}
 	if o.greedySub {
 		cfg.Subsolver = core.SubsolverGreedy
 	}
