@@ -89,8 +89,9 @@ bench-compare: bench-json
 
 ## serve-smoke: end-to-end coverd check — start the daemon on a random
 ## port, upload a hardgen instance, solve remotely, diff against the
-## in-process SolveSetCover output, verify cache/dedup stats and a clean
-## SIGTERM shutdown
+## in-process SolveSetCover output, verify cache/dedup stats, check the
+## /metrics exposition parses and its counters move across a solve, and
+## confirm a clean SIGTERM shutdown
 serve-smoke:
 	bash scripts/serve_smoke.sh
 

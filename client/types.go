@@ -99,6 +99,38 @@ func (s JobStatus) Terminal() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusCanceled
 }
 
+// PassTrace is one pass of a job's solve timeline: the paper's cost model
+// (passes × space) as observed by the driver. The trace grows while the job
+// runs — a ?watch=1 stream re-emits the job snapshot as passes complete.
+type PassTrace struct {
+	// Pass is the 0-based pass index.
+	Pass int `json:"pass"`
+	// DurationSeconds is the wall time of the pass.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Items is the number of sets observed during the pass.
+	Items int `json:"items"`
+	// SpaceWords is the algorithm footprint at end of pass; PeakSpaceWords
+	// the peak over the run so far.
+	SpaceWords     int `json:"space_words"`
+	PeakSpaceWords int `json:"peak_space_words"`
+	// Live is the number of õpt guesses still running after the pass, or -1
+	// when the algorithm has no guess grid.
+	Live int `json:"live"`
+	// Replayed reports that the pass was served from a recorded replay plan
+	// rather than an honest re-stream.
+	Replayed bool `json:"replayed,omitempty"`
+}
+
+// SolveTrace is the observability record of one solve: the per-pass
+// timeline plus the grid-kernel body the solve dispatched to.
+type SolveTrace struct {
+	// Kernel is the bitset grid kernel body ("avx2", "scalar") the server
+	// dispatched for this job's solve.
+	Kernel string `json:"kernel,omitempty"`
+	// Passes is the per-pass timeline, in pass order.
+	Passes []PassTrace `json:"passes"`
+}
+
 // Job is a point-in-time snapshot of a solve job, as served by
 // GET /v1/jobs/{id}.
 type Job struct {
@@ -111,6 +143,9 @@ type Job struct {
 	Created  time.Time    `json:"created"`
 	Started  *time.Time   `json:"started,omitempty"`
 	Finished *time.Time   `json:"finished,omitempty"`
+	// Trace is the per-pass solve timeline, present once the job has begun
+	// streaming passes (never for cache hits or offline reference solves).
+	Trace *SolveTrace `json:"trace,omitempty"`
 }
 
 // UploadResponse is the body of a successful POST /v1/instances.
@@ -129,10 +164,14 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// HealthResponse is the body of GET /v1/healthz.
+// HealthResponse is the body of GET /v1/healthz. Status is "ok" when the
+// service is ready, "degraded" when it is alive but likely to shed load
+// (HTTP 503) — Reasons then names the saturated resources so a balancer
+// can route around the instance before requests start failing with 429/507.
 type HealthResponse struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Status        string   `json:"status"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Reasons       []string `json:"reasons,omitempty"`
 }
 
 // SchedulerStats is the scheduler's cumulative accounting.
@@ -169,6 +208,10 @@ type RegistryStats struct {
 	PlanBytes     int64  `json:"plan_bytes"`
 	BudgetBytes   int64  `json:"budget_bytes"`
 	Evictions     uint64 `json:"evictions"`
+	// DedupHits counts uploads that deduplicated against a resident twin.
+	DedupHits uint64 `json:"dedup_hits,omitempty"`
+	// Pinned is the number of instances currently pinned by running solves.
+	Pinned int `json:"pinned,omitempty"`
 }
 
 // InstanceInfo describes one resident instance.

@@ -30,9 +30,12 @@ import (
 	"io"
 	"os"
 
+	"time"
+
 	"streamcover"
 	"streamcover/client"
 	"streamcover/internal/baselines"
+	"streamcover/internal/bitset"
 	"streamcover/internal/core"
 	"streamcover/internal/rng"
 	"streamcover/internal/setsystem"
@@ -56,6 +59,7 @@ func main() {
 		convert = flag.String("convert", "", "write the instance (-in or -gen) to this path instead of solving")
 		to      = flag.String("to", "scb2", "codec for -convert: scb2 (mmap-native), scb1 (compact varint), text")
 		replay  = flag.Bool("replay", false, "cache the first pass of a file-backed solve (elements + prebuilt run lists) and serve later passes from memory; results are identical, later passes skip decode entirely")
+		trace   = flag.Bool("trace", false, "print a per-pass solve timeline (duration, items, space, live lanes) on stderr; stdout is unchanged")
 	)
 	flag.Parse()
 	if err := validateFlags(*algo, *gen, *order, *in, *convert, *to); err != nil {
@@ -69,15 +73,22 @@ func main() {
 	}
 
 	if *server != "" {
-		runRemote(*server, *in, *gen, *n, *m, *opt, *algo, *alpha, *eps, *order, *seed, *workers)
+		runRemote(*server, *in, *gen, *n, *m, *opt, *algo, *alpha, *eps, *order, *seed, *workers, *trace)
 		return
+	}
+
+	// -trace collects one sample per stream pass; the timeline goes to
+	// stderr after the solve so stdout stays diffable (serve-smoke).
+	var tr *streamcover.PassTrace
+	if *trace {
+		tr = &streamcover.PassTrace{}
 	}
 
 	// For files, the streaming algorithms consume the file pass by pass
 	// without materializing it (stream.FileStream); the in-memory instance
 	// is still loaded for stats and verification.
 	if *in != "" && *algo == "alg1" && *order == "adversarial" {
-		runFileStreaming(*in, *alpha, *eps, *seed, *workers, *replay)
+		runFileStreaming(*in, *alpha, *eps, *seed, *workers, *replay, tr)
 		return
 	}
 	inst, err := loadInstance(*in, *gen, *n, *m, *opt, *seed)
@@ -99,24 +110,27 @@ func main() {
 		res, err := streamcover.SolveSetCover(inst,
 			streamcover.WithAlpha(*alpha), streamcover.WithEpsilon(*eps),
 			streamcover.WithOrder(ord), streamcover.WithSeed(*seed),
-			streamcover.WithParallelism(*workers))
+			streamcover.WithParallelism(*workers), streamcover.WithPassTrace(sinkOf(tr)))
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("alg1(α=%d): %s\n", *alpha, res)
 		verify(inst, res.Cover)
+		printLocalTrace(bitset.GridKernel(), tr)
 	case "progressive":
 		pg := baselines.NewProgressiveGreedy(inst.N, 2)
-		acc := drive(inst, pg, pg.MaxPasses(), ord, *seed)
+		acc := drive(inst, pg, pg.MaxPasses(), ord, *seed, sinkOf(tr))
 		cover, ok := pg.Result()
 		report("progressive(λ=2)", cover, ok, acc)
 		verify(inst, cover)
+		printLocalTrace("", tr)
 	case "storeall":
 		sa := baselines.NewStoreAllGreedy(inst.N)
-		acc := drive(inst, sa, 2, ord, *seed)
+		acc := drive(inst, sa, 2, ord, *seed, sinkOf(tr))
 		cover, ok := sa.Result()
 		report("storeall", cover, ok, acc)
 		verify(inst, cover)
+		printLocalTrace("", tr)
 	case "greedy":
 		cover, err := streamcover.GreedySetCover(inst)
 		if err != nil {
@@ -124,6 +138,7 @@ func main() {
 		}
 		fmt.Printf("offline greedy: cover=%d sets\n", len(cover))
 		verify(inst, cover)
+		traceOfflineNote(*trace)
 	case "exact":
 		cover, err := streamcover.ExactSetCover(inst)
 		if err != nil {
@@ -131,9 +146,66 @@ func main() {
 		}
 		fmt.Printf("offline exact: cover=%d sets (optimal)\n", len(cover))
 		verify(inst, cover)
+		traceOfflineNote(*trace)
 	default:
 		fmt.Fprintf(os.Stderr, "covercli: unknown -algo %q\n", *algo)
 		os.Exit(2)
+	}
+}
+
+// sinkOf converts the optional trace collector to a sink, keeping the
+// interface untyped-nil when tracing is off (a typed-nil sink would be
+// "non-nil" to the drivers and panic on the first pass).
+func sinkOf(tr *streamcover.PassTrace) streamcover.TraceSink {
+	if tr == nil {
+		return nil
+	}
+	return tr
+}
+
+// printLocalTrace prints the collected timeline on stderr. kernel names the
+// dispatched grid-kernel body for solves that sweep the guess grid.
+func printLocalTrace(kernel string, tr *streamcover.PassTrace) {
+	if tr == nil {
+		return
+	}
+	samples := tr.Samples()
+	wire := make([]client.PassTrace, len(samples))
+	for i, s := range samples {
+		wire[i] = client.PassTrace{
+			Pass: s.Pass, DurationSeconds: s.Duration.Seconds(), Items: s.Items,
+			SpaceWords: s.SpaceWords, PeakSpaceWords: s.PeakSpace,
+			Live: s.Live, Replayed: s.Replayed,
+		}
+	}
+	printTrace(kernel, wire)
+}
+
+// printTrace is the shared timeline formatter for local samples and remote
+// job traces: one stderr line per pass, stdout untouched.
+func printTrace(kernel string, passes []client.PassTrace) {
+	if kernel != "" {
+		fmt.Fprintf(os.Stderr, "trace: grid kernel %s\n", kernel)
+	}
+	for _, p := range passes {
+		note := ""
+		if p.Replayed {
+			note = " (replayed)"
+		}
+		line := fmt.Sprintf("trace: pass %d%s: %s, %d items, space %d words (peak %d)",
+			p.Pass, note,
+			time.Duration(p.DurationSeconds*float64(time.Second)).Round(time.Microsecond),
+			p.Items, p.SpaceWords, p.PeakSpaceWords)
+		if p.Live >= 0 {
+			line += fmt.Sprintf(", live %d", p.Live)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+}
+
+func traceOfflineNote(trace bool) {
+	if trace {
+		fmt.Fprintln(os.Stderr, "trace: offline algorithm, no stream passes")
 	}
 }
 
@@ -142,7 +214,7 @@ func main() {
 // The printed lines deliberately match the local driver byte for byte so
 // the serve-smoke target can diff a remote run against a local one.
 func runRemote(base, in, gen string, n, m, opt int, algo string, alpha int, eps float64,
-	order string, seed uint64, workers int) {
+	order string, seed uint64, workers int, trace bool) {
 	inst, err := loadInstance(in, gen, n, m, opt, seed)
 	if err != nil {
 		fatal(err)
@@ -206,6 +278,18 @@ func runRemote(base, in, gen string, n, m, opt int, algo string, alpha int, eps 
 		fmt.Printf("offline exact: cover=%d sets (optimal)\n", len(res.Cover))
 		verify(inst, res.Cover)
 	}
+	if trace {
+		switch {
+		case job.Trace != nil:
+			printTrace(job.Trace.Kernel, job.Trace.Passes)
+		case algo == "greedy" || algo == "exact":
+			traceOfflineNote(true)
+		default:
+			// A cached result carries no trace: the server never re-ran the
+			// passes, so there is no timeline to report.
+			fmt.Fprintln(os.Stderr, "trace: server returned no per-pass trace (result-cache hit?)")
+		}
+	}
 }
 
 // runFileStreaming drives Algorithm 1 directly over a file-backed stream:
@@ -217,7 +301,8 @@ func runRemote(base, in, gen string, n, m, opt int, algo string, alpha int, eps 
 // (core.SolveFileRNG) matches core.Solve, so the result is bit-identical
 // to SolveSetCover on the decoded instance — which is also what a remote
 // (-server) run computes.
-func runFileStreaming(path string, alpha int, eps float64, seed uint64, workers int, replay bool) {
+func runFileStreaming(path string, alpha int, eps float64, seed uint64, workers int, replay bool,
+	tr *streamcover.PassTrace) {
 	fs, err := stream.Open(path)
 	if err != nil {
 		fatal(err)
@@ -235,7 +320,7 @@ func runFileStreaming(path string, alpha int, eps float64, seed uint64, workers 
 		cache = stream.NewPlanCache(fs, 0)
 		src = cache
 	}
-	cfg := core.Config{Alpha: alpha, Epsilon: eps, Workers: workers}
+	cfg := core.Config{Alpha: alpha, Epsilon: eps, Workers: workers, Trace: sinkOf(tr)}
 	best, acc, err := core.SolveStream(src, cfg, core.SolveFileRNG(seed))
 	if err != nil {
 		if errors.Is(err, streamcover.ErrInfeasible) {
@@ -250,6 +335,7 @@ func runFileStreaming(path string, alpha int, eps float64, seed uint64, workers 
 	}
 	fmt.Printf("alg1(α=%d): cover=%d sets (guess %d), %d passes, %d words\n",
 		alpha, len(best.Cover), best.Guess, acc.Passes, acc.PeakSpace)
+	printLocalTrace(bitset.GridKernel(), tr)
 }
 
 // runConvert loads the instance (-in file in any codec, or a generator)
@@ -316,13 +402,13 @@ func loadInstance(path, gen string, n, m, opt int, seed uint64) (*streamcover.In
 }
 
 func drive(inst *setsystem.Instance, alg stream.PassAlgorithm, maxPasses int,
-	ord streamcover.Order, seed uint64) stream.Accounting {
+	ord streamcover.Order, seed uint64, sink stream.TraceSink) stream.Accounting {
 	var r *rng.RNG
 	if ord != streamcover.Adversarial {
 		r = rng.New(seed)
 	}
 	s := stream.FromInstance(inst, ord, r)
-	acc, err := stream.Run(s, alg, maxPasses)
+	acc, err := stream.RunTraced(context.Background(), s, alg, maxPasses, sink)
 	if err != nil {
 		fatal(err)
 	}

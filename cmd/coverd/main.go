@@ -9,11 +9,18 @@
 //	coverd -addr :8650 -slots 4 -mem-budget-mb 512
 //	coverd -addr 127.0.0.1:0 -addr-file /tmp/coverd.addr   # random port
 //	coverd -load instances/hard.scb -load instances/web.sc # preload files
+//	coverd -log-requests -debug-addr 127.0.0.1:8651        # observability
 //
 // The bound address is printed on stdout (and written to -addr-file when
 // given), so scripts can start coverd on port 0 and discover the port.
-// SIGINT/SIGTERM trigger a graceful shutdown: in-flight HTTP requests
-// drain, queued and running jobs are canceled, then the process exits.
+// Operational output is split: stdout carries the same short startup and
+// shutdown lines as always (scripts grep them), while structured logs —
+// job lifecycle, the optional -log-requests access log — go to stderr as
+// log/slog lines. GET /metrics serves the Prometheus exposition, and
+// -debug-addr opts into net/http/pprof on a second, typically private,
+// listener. SIGINT/SIGTERM trigger a graceful shutdown: in-flight HTTP
+// requests drain, queued and running jobs are canceled, then the process
+// exits.
 package main
 
 import (
@@ -21,13 +28,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"streamcover/internal/obs"
 	"streamcover/internal/registry"
 	"streamcover/internal/service"
 )
@@ -53,6 +63,9 @@ func main() {
 		cacheSize   = flag.Int("cache", 0, "result cache entries (0 = default 1024, -1 disables)")
 		maxUploadMB = flag.Int64("max-upload-mb", 1024, "largest accepted instance upload in MiB")
 		replay      = flag.Bool("replay", true, "build a pass-replay plan per instance lazily on first solve (plan bytes count against -mem-budget-mb, visible as plan_bytes in /v1/stats); false streams honestly every pass")
+		logRequests = flag.Bool("log-requests", false, "emit one structured access-log line per HTTP request on stderr")
+		logLevel    = flag.String("log-level", "info", "structured log threshold on stderr: debug, info, warn or error")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this extra address (empty disables; keep it private)")
 	)
 	flag.Var(&loads, "load", "instance file to preload (repeatable; text or binary)")
 	flag.Parse()
@@ -61,8 +74,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "coverd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	metrics := obs.NewRegistry()
 	reg := registry.New(registry.Config{BudgetBytes: *memBudget << 20})
+	reg.RegisterMetrics(metrics)
 	for _, path := range loads {
 		hash, added, err := reg.LoadFile(path)
 		if err != nil {
@@ -78,8 +99,13 @@ func main() {
 	sched := service.NewScheduler(reg, service.Config{
 		Slots: *slots, JobWorkers: *jobWorkers, QueueDepth: *queueDepth, CacheEntries: *cacheSize,
 		DisableReplay: !*replay,
+		Metrics:       metrics, Logger: logger,
 	})
-	handler := service.NewServer(reg, sched, *maxUploadMB<<20)
+	serverOpts := []service.ServerOption{service.WithMetrics(metrics), service.WithLogger(logger)}
+	if *logRequests {
+		serverOpts = append(serverOpts, service.WithAccessLog())
+	}
+	handler := service.NewServer(reg, sched, *maxUploadMB<<20, serverOpts...)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -96,6 +122,33 @@ func main() {
 	cfg := sched.Config()
 	fmt.Printf("coverd: listening on %s (slots=%d job-workers=%d queue=%d budget=%dMiB)\n",
 		bound, cfg.Slots, cfg.JobWorkers, cfg.QueueDepth, *memBudget)
+	logger.Info("coverd started", "addr", bound, "slots", cfg.Slots,
+		"job_workers", cfg.JobWorkers, "queue_depth", cfg.QueueDepth,
+		"budget_mb", *memBudget, "replay", *replay, "preloaded", len(loads))
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		// An explicit pprof mux, not http.DefaultServeMux: only the profile
+		// endpoints exist here, and only on this opt-in listener.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coverd: -debug-addr: %v\n", err)
+			os.Exit(1)
+		}
+		debugSrv = &http.Server{Handler: dmux}
+		logger.Info("pprof listening", "addr", dln.Addr().String())
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof server stopped", "err", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
@@ -106,6 +159,7 @@ func main() {
 	select {
 	case s := <-sig:
 		fmt.Printf("coverd: %s, shutting down\n", s)
+		logger.Info("shutdown requested", "signal", s.String())
 	case err := <-errCh:
 		fmt.Fprintf(os.Stderr, "coverd: serve: %v\n", err)
 		sched.Stop()
@@ -117,6 +171,12 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "coverd: shutdown: %v\n", err)
 	}
+	if debugSrv != nil {
+		debugSrv.Close()
+	}
 	sched.Stop()
+	logger.Info("coverd stopped", "uptime", time.Since(startTime).Round(time.Millisecond))
 	fmt.Println("coverd: bye")
 }
+
+var startTime = time.Now()

@@ -120,6 +120,12 @@ type Config struct {
 	// accounted by the owner (the coverd registry), never in the returned
 	// Accounting, and the experiments harness leaves it nil.
 	Plan *stream.Plan
+	// Trace, when non-nil, receives one stream.PassSample per completed
+	// pass from whichever driver runs the solve. Sampling happens only at
+	// pass boundaries (O(passes) work and storage); nil disables tracing
+	// entirely, including the wall-clock reads. Tracing never perturbs
+	// results: the solve's RNG discipline and pass schedule are untouched.
+	Trace stream.TraceSink
 }
 
 func (c *Config) withDefaults() Config {
@@ -272,6 +278,11 @@ func NewGridRun(n, m int, guesses []int, cfg Config, rngs []*rng.RNG) *GridRun {
 
 // Lanes returns the number of guesses in the group.
 func (g *GridRun) Lanes() int { return len(g.runs) }
+
+// LiveLanes implements stream.LaneCounter: the number of guesses in the
+// group still running. Traced drivers read it at pass boundaries to fill
+// PassSample.Live.
+func (g *GridRun) LiveLanes() int { return g.live }
 
 // Lane returns the single-guess run occupying lane i.
 func (g *GridRun) Lane(i int) *Run { return g.runs[i] }
@@ -738,6 +749,7 @@ type Solver struct {
 	runs    []*Run
 	workers int
 	ctx     context.Context
+	trace   stream.TraceSink
 }
 
 // NewSolver builds the parallel guess runner for a stream with universe n
@@ -770,7 +782,8 @@ func NewSolver(n, m int, cfg Config, r *rng.RNG) *Solver {
 			runs = append(runs, groups[gi].Lane(l))
 		}
 	}
-	return &Solver{Parallel: stream.NewParallel(algs...), groups: groups, runs: runs, workers: c.Workers, ctx: c.Context}
+	return &Solver{Parallel: stream.NewParallel(algs...), groups: groups, runs: runs,
+		workers: c.Workers, ctx: c.Context, trace: c.Trace}
 }
 
 // Run drives the solver over st for up to maxPasses passes at the
@@ -788,9 +801,9 @@ func (s *Solver) Run(st stream.Stream, maxPasses int) (stream.Accounting, error)
 		if ctx == nil {
 			ctx = context.Background()
 		}
-		return stream.RunContext(ctx, st, s, maxPasses)
+		return stream.RunTraced(ctx, st, s, maxPasses, s.trace)
 	}
-	return parallel.Run(st, s.Children(), parallel.Config{Workers: s.workers, MaxPasses: maxPasses, Context: s.ctx})
+	return parallel.Run(st, s.Children(), parallel.Config{Workers: s.workers, MaxPasses: maxPasses, Context: s.ctx, Trace: s.trace})
 }
 
 // Best returns the smallest feasible cover across guesses. ok is false when

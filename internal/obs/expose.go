@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per family,
+// then one line per series. Output is deterministic — families sort by
+// name, series by their rendered labels — so identical state encodes to
+// identical bytes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+// write renders one family. Pull-style families call their fn; stored
+// families snapshot each series under the family lock, then render.
+func (f *family) write(w *bufio.Writer) {
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteByte('\n')
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(string(f.typ))
+	w.WriteByte('\n')
+
+	if f.fn != nil {
+		writeSeries(w, f.name, "", formatValue(f.fn()))
+		return
+	}
+
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	samples := make([]sample, len(keys))
+	for i, k := range keys {
+		samples[i] = f.series[k].collect()
+	}
+	f.mu.Unlock()
+
+	for i, k := range keys {
+		s := samples[i]
+		if f.typ != typeHistogram {
+			writeSeries(w, f.name, k, formatValue(s.value))
+			continue
+		}
+		// Histogram: cumulative buckets (le is the last label), _sum, _count.
+		cum := uint64(0)
+		for bi, c := range s.buckets {
+			cum += c
+			le := "+Inf"
+			if bi < len(f.bounds) {
+				le = formatValue(f.bounds[bi])
+			}
+			labels := k
+			if labels != "" {
+				labels += ","
+			}
+			labels += `le="` + le + `"`
+			writeSeries(w, f.name+"_bucket", labels, strconv.FormatUint(cum, 10))
+		}
+		writeSeries(w, f.name+"_sum", k, formatValue(s.sum))
+		writeSeries(w, f.name+"_count", k, strconv.FormatUint(s.count, 10))
+	}
+}
+
+func writeSeries(w *bufio.Writer, name, labels, value string) {
+	w.WriteString(name)
+	if labels != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+// formatValue renders a float the way Prometheus expects: shortest exact
+// decimal, with the spelled-out infinities.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint
+// (GET /metrics).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,360 @@
+// Package obs is coverd's observability plane: a dependency-free metrics
+// registry — atomic counters, gauges and histograms, optionally labeled —
+// with Prometheus text-exposition (version 0.0.4) encoding.
+//
+// # Design
+//
+// The package exists because the repository's hard rule is "no external
+// dependencies", and because coverd's defining quantities (passes, peak
+// space, queue depth, cache efficacy) are cheap scalars that do not need a
+// client library: every instrument is one or a few machine words updated
+// with atomic operations, so instrumented hot paths pay a handful of
+// nanoseconds and zero allocations per event. Collection (WritePrometheus)
+// is the only locking path and runs at scrape frequency, never on the
+// serving path.
+//
+// # Naming scheme
+//
+// Metric names follow the Prometheus conventions: a `coverd_` namespace
+// prefix, a subsystem (`http`, `jobs`, `registry`, `solve`), a unit suffix
+// (`_seconds`, `_bytes`, `_words`), and `_total` on counters. Label
+// cardinality is bounded by construction — routes come from the fixed mux
+// pattern table, status codes and job states from small enums — so the
+// registry never grows unboundedly with traffic.
+//
+// # Determinism
+//
+// Exposition output is deterministically ordered: families sort by name,
+// series within a family by rendered label values. Two scrapes of the same
+// state are byte-identical, which is what makes the format golden-testable
+// and the metrics-smoke CI leg a simple text diff.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType is the TYPE line vocabulary of the text exposition format.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition. Create with NewRegistry; a nil *Registry is not usable.
+// Registration is typically done once at wiring time; instrument updates
+// (Counter.Add, Gauge.Set, Histogram.Observe) are lock-free afterwards.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one metric name: its metadata plus every labeled series.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	labels []string // label names, in declaration order
+
+	mu     sync.Mutex
+	series map[string]instrument // key: rendered label pairs ("" when unlabeled)
+	fn     func() float64        // pull-style value (CounterFunc/GaugeFunc)
+	fnTyp  metricType
+
+	bounds []float64 // histogram bucket upper bounds, sorted, no +Inf
+}
+
+// instrument is anything a family can hold per label combination.
+type instrument interface{ collect() sample }
+
+// sample is one collected series value: either a scalar or histogram state.
+type sample struct {
+	value   float64
+	buckets []uint64 // per-bucket counts (non-cumulative), +Inf last
+	sum     float64
+	count   uint64
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// register installs a family, panicking on a duplicate name (metric
+// registration is wiring-time code; a duplicate is a programming error the
+// first test run catches).
+func (r *Registry) register(f *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[f.name]; ok {
+		panic(fmt.Sprintf("obs: metric %q registered twice", f.name))
+	}
+	r.families[f.name] = f
+	return f
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) collect() sample { return sample{value: float64(c.v.Load())} }
+
+// Gauge is a value that can go up and down. It stores float64 bits
+// atomically, so Set/Add are safe from any goroutine.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by d (negative d decreases it).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) collect() sample { return sample{value: g.Value()} }
+
+// Histogram counts observations into cumulative buckets (at exposition; the
+// in-memory counts are per-bucket and purely atomic). Observe is lock-free:
+// one atomic add on the bucket plus one CAS loop on the sum.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+func (h *Histogram) collect() sample {
+	s := sample{buckets: make([]uint64, len(h.counts))}
+	for i := range h.counts {
+		s.buckets[i] = h.counts[i].Load()
+	}
+	s.sum = math.Float64frombits(h.sum.Load())
+	s.count = h.count.Load()
+	return s
+}
+
+// DefBuckets is a general-purpose latency bucket layout in seconds, from
+// 1ms to 10s (the Prometheus client default).
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// PassBuckets is the bucket layout for per-pass solve durations: replayed
+// passes run in tens of microseconds, honest decode passes in tens of
+// milliseconds, whole large solves in seconds.
+var PassBuckets = []float64{1e-5, 1e-4, 1e-3, .01, .1, 1, 10}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, typ: typeCounter,
+		series: map[string]instrument{"": c}})
+	return c
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, typ: typeGauge,
+		series: map[string]instrument{"": g}})
+	return g
+}
+
+// Histogram registers and returns an unlabeled histogram with the given
+// bucket upper bounds (the +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(&family{name: name, help: help, typ: typeHistogram,
+		series: map[string]instrument{"": h}, bounds: h.bounds})
+	return h
+}
+
+// CounterFunc registers a pull-style counter: fn is called at scrape time.
+// Use it to expose an existing monotonic quantity (an eviction count a
+// store already maintains) without double bookkeeping.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: typeCounter, fn: fn, fnTyp: typeCounter})
+}
+
+// GaugeFunc registers a pull-style gauge: fn is called at scrape time. This
+// is the zero-perturbation way to expose state another subsystem already
+// tracks under its own lock (queue depth, resident bytes).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: typeGauge, fn: fn, fnTyp: typeGauge})
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	f := r.register(&family{name: name, help: help, typ: typeCounter,
+		labels: labels, series: map[string]instrument{}})
+	return &CounterVec{f: f}
+}
+
+// With returns the counter for the given label values (created on first
+// use), which must match the declared label names in count and order.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.get(values, func() instrument { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	f := r.register(&family{name: name, help: help, typ: typeGauge,
+		labels: labels, series: map[string]instrument{}})
+	return &GaugeVec{f: f}
+}
+
+// With returns the gauge for the given label values (created on first use).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.get(values, func() instrument { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family with shared buckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	h := newHistogram(buckets) // normalize the bounds once
+	f := r.register(&family{name: name, help: help, typ: typeHistogram,
+		labels: labels, series: map[string]instrument{}, bounds: h.bounds})
+	return &HistogramVec{f: f}
+}
+
+// With returns the histogram for the given label values (created on first
+// use).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	bounds := v.f.bounds
+	return v.f.get(values, func() instrument {
+		h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+		return h
+	}).(*Histogram)
+}
+
+// get returns the series for a label combination, creating it on first use.
+// The family lock is held only for the map access; the returned instrument
+// is updated lock-free. Callers on hot paths should cache the result.
+func (f *family) get(values []string, mk func() instrument) instrument {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := renderLabels(f.labels, values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if in, ok := f.series[key]; ok {
+		return in
+	}
+	in := mk()
+	f.series[key] = in
+	return in
+}
+
+// renderLabels renders a label set as it appears inside the exposition
+// braces: name="value" pairs in declaration order, values escaped.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text format: backslash, double
+// quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string per the text format: backslash and
+// newline (quotes are legal in help text).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the full text-exposition contract: HELP/TYPE
+// lines, label rendering and escaping, histogram bucket cumulativity, and
+// deterministic family/series ordering regardless of registration or
+// update order.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	// Registered deliberately out of name order: output must sort.
+	g := r.Gauge("zz_gauge", "a gauge")
+	g.Set(2.5)
+	h := r.Histogram("mid_hist", "a histogram", []float64{0.1, 1})
+	h.Observe(0.05) // le=0.1
+	h.Observe(0.5)  // le=1
+	h.Observe(0.5)  // le=1
+	h.Observe(5)    // +Inf only
+	cv := r.CounterVec("aa_requests_total", `weird "help" with \slash`, "route", "code")
+	cv.With("GET /v1/jobs/{id}", "200").Add(3)
+	cv.With(`esc"ape\me`+"\n", "500").Inc()
+	r.GaugeFunc("fn_gauge", "pulled at scrape", func() float64 { return 7 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP aa_requests_total weird "help" with \\slash
+# TYPE aa_requests_total counter
+aa_requests_total{route="GET /v1/jobs/{id}",code="200"} 3
+aa_requests_total{route="esc\"ape\\me\n",code="500"} 1
+# HELP fn_gauge pulled at scrape
+# TYPE fn_gauge gauge
+fn_gauge 7
+# HELP mid_hist a histogram
+# TYPE mid_hist histogram
+mid_hist_bucket{le="0.1"} 1
+mid_hist_bucket{le="1"} 3
+mid_hist_bucket{le="+Inf"} 4
+mid_hist_sum 6.05
+mid_hist_count 4
+# HELP zz_gauge a gauge
+# TYPE zz_gauge gauge
+zz_gauge 2.5
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Determinism: a second scrape of unchanged state is byte-identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != got {
+		t.Fatalf("second scrape differs from first")
+	}
+}
+
+func TestHistogramBoundaryValues(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "boundaries", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive (v <= bound)
+	h.Observe(2)
+	h.Observe(2.0001)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`h_bucket{le="1"} 1`,
+		`h_bucket{le="2"} 2`,
+		`h_bucket{le="+Inf"} 3`,
+		`h_count 3`,
+	} {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, b.String())
+		}
+	}
+}
+
+func TestGaugeAddAndFuncs(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "gauge")
+	g.Add(3)
+	g.Add(-1.5)
+	if v := g.Value(); v != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", v)
+	}
+	calls := 0
+	r.CounterFunc("cf_total", "counter func", func() float64 { calls++; return 42 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("CounterFunc called %d times during one scrape", calls)
+	}
+	if !strings.Contains(b.String(), "# TYPE cf_total counter\ncf_total 42\n") {
+		t.Fatalf("counter func not exposed:\n%s", b.String())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	r.Counter("dup_total", "second")
+}
+
+// TestConcurrentScrape hammers every instrument type from many goroutines
+// while scraping concurrently; run under -race this pins the lock-free
+// update paths and the collect snapshotting.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "counter")
+	g := r.Gauge("g", "gauge")
+	h := r.Histogram("h", "hist", DefBuckets)
+	cv := r.CounterVec("cv_total", "labeled", "k")
+	hv := r.HistogramVec("hv", "labeled hist", PassBuckets, "k")
+
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w%4))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1000)
+				cv.With(lbl).Inc()
+				hv.With(lbl).Observe(float64(i) * 1e-5)
+			}
+		}(w)
+	}
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-scrapeDone
+
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != workers*iters {
+		t.Fatalf("gauge = %v, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}

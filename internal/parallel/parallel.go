@@ -45,6 +45,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"streamcover/internal/bitset"
 	"streamcover/internal/stream"
@@ -68,6 +69,11 @@ type Config struct {
 	// with ctx.Err() using the same shape as a mid-pass stream failure
 	// (partial pass accounted, EndPass skipped). nil means no cancellation.
 	Context context.Context
+	// Trace, when non-nil, receives one stream.PassSample per completed
+	// pass, assembled after the pass barrier (done.Wait) so every read of
+	// child state is race-free. nil disables all trace work, including the
+	// wall-clock reads.
+	Trace stream.TraceSink
 }
 
 // DefaultChunkSize is the item fan-out granularity used when
@@ -94,6 +100,28 @@ type Stable interface {
 func stableItems(s stream.Stream) bool {
 	st, ok := s.(Stable)
 	return ok && st.StableItems()
+}
+
+// liveLanes sums the live lane counts over children exposing
+// stream.LaneCounter, or returns -1 when none do — the same convention as
+// the sequential driver's stream.Parallel composition.
+func liveLanes(children []stream.PassAlgorithm) int {
+	sum, known := 0, false
+	for _, c := range children {
+		if lc, ok := c.(stream.LaneCounter); ok {
+			sum += lc.LiveLanes()
+			known = true
+		}
+	}
+	if !known {
+		return -1
+	}
+	return sum
+}
+
+func replayedPass(s stream.Stream) bool {
+	pr, ok := s.(stream.PassReplayer)
+	return ok && pr.ReplayedPass()
 }
 
 // Run drives the children over s concurrently until every child reports
@@ -127,6 +155,7 @@ func Run(s stream.Stream, children []stream.PassAlgorithm, cfg Config) (stream.A
 	}
 	p := newPool(min(Workers(cfg.Workers), nc), children, sBegin, sLast, sEnd, passDone)
 	defer p.close()
+	var passStart time.Time
 	for pass := 0; pass < cfg.MaxPasses; pass++ {
 		if cancel != nil {
 			select {
@@ -144,7 +173,14 @@ func Run(s stream.Stream, children []stream.PassAlgorithm, cfg Config) (stream.A
 				active = append(active, i)
 			}
 		}
+		replayed := false
+		if cfg.Trace != nil {
+			passStart = time.Now()
+		}
 		s.Reset()
+		if cfg.Trace != nil {
+			replayed = replayedPass(s)
+		}
 		// Stability is queried per pass, after Reset: a stream can become
 		// stable between passes (stream.PlanCache finishes recording at the
 		// end of its first pass and serves immutable plan views thereafter).
@@ -171,6 +207,19 @@ func Run(s stream.Stream, children []stream.PassAlgorithm, cfg Config) (stream.A
 		acc.PeakSpace = max(acc.PeakSpace, sumBegin, sumLast, sumEnd)
 		acc.Items += items
 		acc.Passes = pass + 1
+		if cfg.Trace != nil {
+			// runPass's done.Wait barrier already happened: child state reads
+			// here are race-free.
+			cfg.Trace.TracePass(stream.PassSample{
+				Pass:       pass,
+				Duration:   time.Since(passStart),
+				Items:      items,
+				SpaceWords: sumEnd,
+				PeakSpace:  acc.PeakSpace,
+				Live:       liveLanes(children),
+				Replayed:   replayed,
+			})
+		}
 		allDone := true
 		for _, ci := range active {
 			if passDone[ci] {

@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"streamcover/client"
+	"streamcover/internal/obs"
 	"streamcover/internal/setsystem"
 )
 
@@ -67,6 +68,8 @@ type Registry struct {
 	entries   map[string]*entry
 	lru       *list.List // front = most recently used
 	evictions uint64
+	dedupHits uint64
+	pinned    int // outstanding pins across all entries
 }
 
 type entry struct {
@@ -121,6 +124,7 @@ func (r *Registry) admit(inst *setsystem.Instance) (hash string, added bool, err
 	defer r.mu.Unlock()
 	if e, ok := r.entries[hash]; ok {
 		r.lru.MoveToFront(e.elem)
+		r.dedupHits++
 		return hash, false, nil
 	}
 	if !r.evictFor(size) {
@@ -231,6 +235,7 @@ func (r *Registry) Acquire(hash string) (*setsystem.Instance, func(), error) {
 	}
 	r.lru.MoveToFront(e.elem)
 	e.pins++
+	r.pinned++
 	// A pin means a solve is imminent: hint the kernel to start paging the
 	// mapped arena in now so the first pass overlaps page-in with compute.
 	// Best-effort and a no-op for heap-backed entries.
@@ -240,6 +245,7 @@ func (r *Registry) Acquire(hash string) (*setsystem.Instance, func(), error) {
 		once.Do(func() {
 			r.mu.Lock()
 			e.pins--
+			r.pinned--
 			r.mu.Unlock()
 		})
 	}
@@ -311,7 +317,50 @@ func (r *Registry) Stats() Stats {
 		PlanBytes:     r.plans,
 		BudgetBytes:   r.budget,
 		Evictions:     r.evictions,
+		DedupHits:     r.dedupHits,
+		Pinned:        r.pinned,
 	}
+}
+
+// RegisterMetrics exposes the store on an obs registry as pull-style
+// gauges and counters: every value is read from the registry's own ledgers
+// at scrape time, so instrumentation adds no bookkeeping to the store's
+// operational paths.
+func (r *Registry) RegisterMetrics(m *obs.Registry) {
+	read := func(f func(*Registry) float64) func() float64 {
+		return func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return f(r)
+		}
+	}
+	m.GaugeFunc("coverd_registry_instances",
+		"Resident instances in the content-addressed store.",
+		read(func(r *Registry) float64 { return float64(len(r.entries)) }))
+	m.GaugeFunc("coverd_registry_resident_bytes",
+		"Resident bytes charged against the memory budget (heap + mapped + plans).",
+		read(func(r *Registry) float64 { return float64(r.resident) }))
+	m.GaugeFunc("coverd_registry_heap_bytes",
+		"Resident bytes of heap-decoded instances.",
+		read(func(r *Registry) float64 { return float64(r.heap) }))
+	m.GaugeFunc("coverd_registry_mapped_bytes",
+		"Resident bytes of mmap-backed SCB2 instances.",
+		read(func(r *Registry) float64 { return float64(r.mapped) }))
+	m.GaugeFunc("coverd_registry_plan_bytes",
+		"Resident bytes of attached pass-replay plans.",
+		read(func(r *Registry) float64 { return float64(r.plans) }))
+	m.GaugeFunc("coverd_registry_budget_bytes",
+		"Configured memory budget in bytes.",
+		read(func(r *Registry) float64 { return float64(r.budget) }))
+	m.GaugeFunc("coverd_registry_pinned_instances",
+		"Instances currently pinned by in-flight solve jobs.",
+		read(func(r *Registry) float64 { return float64(r.pinned) }))
+	m.CounterFunc("coverd_registry_evictions_total",
+		"Instances evicted to make room under the memory budget.",
+		read(func(r *Registry) float64 { return float64(r.evictions) }))
+	m.CounterFunc("coverd_registry_dedup_hits_total",
+		"Uploads deduplicated against an already-resident instance.",
+		read(func(r *Registry) float64 { return float64(r.dedupHits) }))
 }
 
 // InstanceInfo describes one resident instance, for the stats endpoint

@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
 
 	"streamcover/client"
+	"streamcover/internal/obs"
 	"streamcover/internal/registry"
 	"streamcover/internal/setsystem"
 )
@@ -23,11 +25,15 @@ import (
 //	                            context cancels the job if the client goes
 //	                            away mid-wait)
 //	GET    /v1/jobs/{id}        job snapshot; ?watch=1 streams NDJSON
-//	                            snapshots on every status change until the
-//	                            job is terminal
+//	                            snapshots on every status or trace change
+//	                            until the job is terminal
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	GET    /v1/healthz          liveness
+//	GET    /v1/healthz          readiness: "ok", or "degraded" + 503 with
+//	                            reasons when the queue is saturated or the
+//	                            registry is nearly out of budget
 //	GET    /v1/stats            scheduler + registry + cache counters
+//	GET    /metrics             Prometheus text exposition (only with
+//	                            WithMetrics)
 //
 // Every response is JSON; errors are {"error": "..."} with a matching
 // status code (400 malformed, 404 unknown instance/job, 413 oversized
@@ -38,29 +44,145 @@ type Server struct {
 	mux       *http.ServeMux
 	started   time.Time
 	maxUpload int64
+
+	log       *slog.Logger
+	accessLog bool
+	metrics   *httpMetrics // nil without WithMetrics
 }
 
 // DefaultMaxUploadBytes bounds POST /v1/instances bodies.
 const DefaultMaxUploadBytes = 1 << 30
 
+// ServerOption customizes a Server beyond the required wiring.
+type ServerOption func(*Server)
+
+// WithMetrics registers the server's HTTP instrument families (request
+// counts and latencies by route, in-flight gauge) on m and serves the whole
+// registry's exposition at GET /metrics.
+func WithMetrics(m *obs.Registry) ServerOption {
+	return func(s *Server) { s.metrics = newHTTPMetrics(m) }
+}
+
+// WithLogger routes the server's structured logs (response-write failures,
+// the optional access log) to log. nil keeps the default discard logger.
+func WithLogger(log *slog.Logger) ServerOption {
+	return func(s *Server) {
+		if log != nil {
+			s.log = log
+		}
+	}
+}
+
+// WithAccessLog emits one structured log line per completed request.
+func WithAccessLog() ServerOption {
+	return func(s *Server) { s.accessLog = true }
+}
+
 // NewServer wires the handler around a registry and scheduler.
 // maxUploadBytes <= 0 selects DefaultMaxUploadBytes.
-func NewServer(reg *registry.Registry, sched *Scheduler, maxUploadBytes int64) *Server {
+func NewServer(reg *registry.Registry, sched *Scheduler, maxUploadBytes int64, opts ...ServerOption) *Server {
 	if maxUploadBytes <= 0 {
 		maxUploadBytes = DefaultMaxUploadBytes
 	}
-	s := &Server{reg: reg, sched: sched, mux: http.NewServeMux(), started: time.Now(), maxUpload: maxUploadBytes}
+	s := &Server{
+		reg: reg, sched: sched, mux: http.NewServeMux(),
+		started: time.Now(), maxUpload: maxUploadBytes,
+		log: slog.New(slog.DiscardHandler),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("POST /v1/instances", s.handleUpload)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if s.metrics != nil {
+		s.mux.Handle("GET /metrics", obs.Handler(s.metrics.reg))
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// httpMetrics is the server's instrument set: white-box request accounting
+// by route pattern and status code, sampled in the ServeHTTP middleware.
+type httpMetrics struct {
+	reg      *obs.Registry
+	requests *obs.CounterVec   // route, code
+	duration *obs.HistogramVec // route
+	inFlight *obs.Gauge
+}
+
+func newHTTPMetrics(r *obs.Registry) *httpMetrics {
+	return &httpMetrics{
+		reg: r,
+		requests: r.CounterVec("coverd_http_requests_total",
+			"HTTP requests served, by route pattern and status code.", "route", "code"),
+		duration: r.HistogramVec("coverd_http_request_duration_seconds",
+			"HTTP request latency by route pattern.", obs.DefBuckets, "route"),
+		inFlight: r.Gauge("coverd_http_requests_in_flight",
+			"Requests currently being served."),
+	}
+}
+
+// statusWriter captures the response status code for the middleware while
+// delegating everything else — including Flush, which the ?watch=1 NDJSON
+// stream depends on — to the wrapped writer.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ServeHTTP implements http.Handler. With metrics or access logging enabled
+// it wraps the mux in a recording middleware; otherwise it is the bare mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.metrics == nil && !s.accessLog {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	route := "unmatched"
+	if _, pattern := s.mux.Handler(r); pattern != "" {
+		route = pattern
+	}
+	if s.metrics != nil {
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(start)
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	if s.metrics != nil {
+		s.metrics.requests.With(route, strconv.Itoa(sw.code)).Inc()
+		s.metrics.duration.With(route).Observe(elapsed.Seconds())
+	}
+	if s.accessLog {
+		s.log.Info("request", "method", r.Method, "path", r.URL.Path,
+			"route", route, "code", sw.code, "duration", elapsed,
+			"remote", r.RemoteAddr)
+	}
+}
 
 // Response bodies are defined in the public client package; aliased here
 // for use sites and tests.
@@ -77,23 +199,23 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			s.writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("instance exceeds the %d-byte upload limit", s.maxUpload))
 			return
 		}
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("undecodable instance: %v", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("undecodable instance: %v", err))
 		return
 	}
 	hash, added, err := s.reg.Put(inst)
 	if err != nil {
-		writeError(w, statusFor(err), err.Error())
+		s.writeError(w, statusFor(err), err.Error())
 		return
 	}
 	code := http.StatusOK
 	if added {
 		code = http.StatusCreated
 	}
-	writeJSON(w, code, UploadResponse{
+	s.writeJSON(w, code, UploadResponse{
 		Hash: hash, N: inst.N, M: inst.M(), Added: added, Bytes: setsystem.SizeBytes(inst),
 	})
 }
@@ -103,24 +225,24 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad solve request: %v", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad solve request: %v", err))
 		return
 	}
 	if v := r.URL.Query().Get("wait"); v != "" {
 		b, err := strconv.ParseBool(v)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad wait parameter %q: want a boolean", v))
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad wait parameter %q: want a boolean", v))
 			return
 		}
 		req.Wait = b
 	}
 	job, err := s.sched.Submit(req)
 	if err != nil {
-		writeError(w, statusFor(err), err.Error())
+		s.writeError(w, statusFor(err), err.Error())
 		return
 	}
 	if !req.Wait {
-		writeJSON(w, http.StatusAccepted, job)
+		s.writeJSON(w, http.StatusAccepted, job)
 		return
 	}
 	final, err := s.sched.Wait(r.Context(), job.ID)
@@ -128,10 +250,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// The waiting client went away: it created this job, so abort the
 		// work rather than burn a slot for nobody.
 		s.sched.Cancel(job.ID)
-		writeError(w, 499, fmt.Sprintf("client disconnected while waiting; job %s canceled: %v", job.ID, err))
+		s.writeError(w, 499, fmt.Sprintf("client disconnected while waiting; job %s canceled: %v", job.ID, err))
 		return
 	}
-	writeJSON(w, http.StatusOK, final)
+	s.writeJSON(w, http.StatusOK, final)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -142,22 +264,24 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.sched.Job(id)
 	if err != nil {
-		writeError(w, statusFor(err), err.Error())
+		s.writeError(w, statusFor(err), err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, job)
+	s.writeJSON(w, http.StatusOK, job)
 }
 
 // watchJob streams NDJSON job snapshots: one line immediately, one on
-// every observed status change, and the final line is the terminal
-// snapshot. This is the streaming side of the API — a client tails one
-// response instead of polling. Snapshots come from a Subscribe handle, not
-// repeated ID lookups, so the stream always ends with the terminal
-// snapshot even if the MaxJobs GC prunes the job the moment it finishes.
+// every observed status change or newly completed solve pass, and the
+// final line is the terminal snapshot. This is the streaming side of the
+// API — a client tails one response instead of polling, and sees the
+// per-pass trace grow while the solve runs. Snapshots come from a
+// Subscribe handle, not repeated ID lookups, so the stream always ends
+// with the terminal snapshot even if the MaxJobs GC prunes the job the
+// moment it finishes.
 func (s *Server) watchJob(w http.ResponseWriter, r *http.Request, id string) {
 	h, err := s.sched.Subscribe(id)
 	if err != nil {
-		writeError(w, statusFor(err), err.Error())
+		s.writeError(w, statusFor(err), err.Error())
 		return
 	}
 	flusher, _ := w.(http.Flusher)
@@ -165,13 +289,19 @@ func (s *Server) watchJob(w http.ResponseWriter, r *http.Request, id string) {
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	var last JobStatus
+	lastPasses := -1
 	emit := func() (terminal bool) {
 		job := h.Snapshot()
-		if job.Status == last {
+		passes := 0
+		if job.Trace != nil {
+			passes = len(job.Trace.Passes)
+		}
+		if job.Status == last && passes == lastPasses {
 			return job.Status.Terminal()
 		}
-		last = job.Status
-		if enc.Encode(job) != nil {
+		last, lastPasses = job.Status, passes
+		if err := enc.Encode(job); err != nil {
+			s.log.Debug("watch stream write failed", "job", id, "err", err)
 			return true
 		}
 		if flusher != nil {
@@ -202,26 +332,44 @@ func (s *Server) watchJob(w http.ResponseWriter, r *http.Request, id string) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.sched.Cancel(id); err != nil {
-		writeError(w, statusFor(err), err.Error())
+		s.writeError(w, statusFor(err), err.Error())
 		return
 	}
 	job, err := s.sched.Job(id)
 	if err != nil {
-		writeError(w, statusFor(err), err.Error())
+		s.writeError(w, statusFor(err), err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, job)
+	s.writeJSON(w, http.StatusOK, job)
 }
 
+// handleHealth is a readiness probe, not bare liveness: it reports
+// "degraded" with a 503 and the list of reasons when the service would
+// reject or stall new work — the job queue is saturated, or the registry is
+// within 5% of its byte budget (the next upload likely fails with 507).
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	var reasons []string
+	if st := s.sched.Stats(); st.QueueDepth > 0 && st.Queued >= st.QueueDepth {
+		reasons = append(reasons, "job queue saturated")
+	}
+	if rst := s.reg.Stats(); rst.BudgetBytes > 0 && rst.ResidentBytes >= rst.BudgetBytes-rst.BudgetBytes/20 {
+		reasons = append(reasons, "registry within 5% of byte budget")
+	}
+	resp := HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.started).Seconds(),
-	})
+		Reasons:       reasons,
+	}
+	code := http.StatusOK
+	if len(reasons) > 0 {
+		resp.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	s.writeJSON(w, http.StatusOK, StatsResponse{
 		Scheduler: s.sched.Stats(),
 		Registry:  s.reg.Stats(),
 		Instances: s.reg.Snapshot(),
@@ -247,12 +395,18 @@ func statusFor(err error) int {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes one JSON response body. Encode failures after the header
+// is out cannot reach the client anymore (the status code is already on the
+// wire), so they are logged instead of silently dropped — almost always a
+// client that hung up mid-response.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Warn("response write failed", "code", code, "err", err)
+	}
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, ErrorResponse{Error: msg})
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, ErrorResponse{Error: msg})
 }

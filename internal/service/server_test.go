@@ -260,7 +260,7 @@ func TestJobWatchStreamsNDJSON(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Fatalf("watch content type %q", ct)
 	}
-	var statuses []JobStatus
+	var snaps []Job
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -268,17 +268,35 @@ func TestJobWatchStreamsNDJSON(t *testing.T) {
 		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
 			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
 		}
-		statuses = append(statuses, snap.Status)
+		snaps = append(snaps, snap)
 	}
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	if len(statuses) == 0 || !statuses[len(statuses)-1].Terminal() {
-		t.Fatalf("watch stream %v did not end terminal", statuses)
+	if len(snaps) == 0 || !snaps[len(snaps)-1].Status.Terminal() {
+		t.Fatalf("watch stream did not end terminal")
 	}
-	for i := 1; i < len(statuses); i++ {
-		if statuses[i] == statuses[i-1] {
-			t.Fatalf("watch emitted duplicate status %v", statuses)
+	// Every line must bring news: a status change, or a grown pass trace.
+	passesOf := func(j Job) int {
+		if j.Trace == nil {
+			return 0
+		}
+		return len(j.Trace.Passes)
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Status == snaps[i-1].Status && passesOf(snaps[i]) == passesOf(snaps[i-1]) {
+			t.Fatalf("watch emitted duplicate snapshot at line %d (status %s, %d passes)",
+				i, snaps[i].Status, passesOf(snaps[i]))
+		}
+	}
+	// The terminal snapshot carries the full per-pass trace of the solve.
+	final := snaps[len(snaps)-1]
+	if final.Trace == nil || len(final.Trace.Passes) != final.Result.Passes {
+		t.Fatalf("terminal snapshot trace = %+v, want %d passes", final.Trace, final.Result.Passes)
+	}
+	for i, p := range final.Trace.Passes {
+		if p.Pass != i || p.Items <= 0 || p.DurationSeconds < 0 {
+			t.Fatalf("trace pass %d malformed: %+v", i, p)
 		}
 	}
 }
@@ -319,7 +337,14 @@ func TestWaitingClientDisconnectCancelsJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body, err := json.Marshal(slowReq(hash, 3))
+	// Stretch the solve well past slowReq's usual length: the poll loop
+	// below may observe StatusRunning tens of milliseconds late under
+	// scheduler jitter, and the disconnect must still land while the job
+	// has plenty of passes left (the happy path cancels almost at once, so
+	// the test stays fast).
+	solveReq := slowReq(hash, 3)
+	solveReq.Lambda = 1.001
+	body, err := json.Marshal(solveReq)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,6 +42,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"strings"
@@ -51,6 +52,7 @@ import (
 	"streamcover"
 	"streamcover/client"
 	"streamcover/internal/baselines"
+	"streamcover/internal/obs"
 	"streamcover/internal/registry"
 	"streamcover/internal/rng"
 	"streamcover/internal/stream"
@@ -172,6 +174,7 @@ type job struct {
 	release  func()             // registry unpin, called once on terminal
 	cancel   context.CancelFunc // non-nil while running
 	canceled bool               // cancel requested (covers the queued window)
+	trace    *traceRecorder     // per-pass solve timeline (streaming algos)
 	done     chan struct{}
 }
 
@@ -219,6 +222,14 @@ type Config struct {
 	// by the replay-parity tests); plan bytes are charged to the registry
 	// budget and reported as plan_bytes in /v1/stats.
 	DisableReplay bool
+	// Metrics, when non-nil, is the obs registry the scheduler registers
+	// its instrument families on (job counters, queue/running gauges, job
+	// and pass duration histograms, result-cache hit/miss). nil disables
+	// scheduler metrics; per-job pass traces are recorded either way.
+	Metrics *obs.Registry
+	// Logger receives structured job-lifecycle logs (submitted, started,
+	// finished with status/duration/accounting). nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -262,6 +273,9 @@ type Scheduler struct {
 	cacheFIFO []string
 	stats     Stats
 
+	metrics *schedMetrics // nil without a Config.Metrics registry
+	log     *slog.Logger
+
 	wg sync.WaitGroup
 }
 
@@ -274,6 +288,13 @@ func NewScheduler(reg *registry.Registry, cfg Config) *Scheduler {
 		jobs:  map[string]*job{},
 		queue: make(chan *job, c.QueueDepth),
 		cache: map[string]*SolveResult{},
+		log:   c.Logger,
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	if c.Metrics != nil {
+		s.metrics = newSchedMetrics(c.Metrics, s)
 	}
 	for i := 0; i < c.Slots; i++ {
 		s.wg.Add(1)
@@ -304,6 +325,9 @@ func (s *Scheduler) Submit(req SolveRequest) (Job, error) {
 	defer s.mu.Unlock()
 	if s.stopped {
 		release()
+		if s.metrics != nil {
+			s.metrics.rejected.With("stopped").Inc()
+		}
 		return Job{}, ErrStopped
 	}
 	s.nextID++
@@ -330,13 +354,27 @@ func (s *Scheduler) Submit(req SolveRequest) (Job, error) {
 			s.order = append(s.order, j.id)
 			s.stats.Submitted++
 			s.gcJobsLocked()
+			if s.metrics != nil {
+				s.metrics.submitted.Inc()
+				s.metrics.cacheHits.Inc()
+				s.metrics.completed.With(string(StatusDone)).Inc()
+			}
+			s.log.Info("job cache hit", "job", j.id, "algo", req.Algo, "instance", req.Instance)
 			return j.snapshotLocked(), nil
+		}
+		if s.metrics != nil {
+			s.metrics.cacheMisses.Inc()
 		}
 	}
 	select {
 	case s.queue <- j:
 	default:
 		release()
+		if s.metrics != nil {
+			s.metrics.rejected.With("queue_full").Inc()
+		}
+		s.log.Warn("job rejected: queue full", "algo", req.Algo, "instance", req.Instance,
+			"queue_depth", s.cfg.QueueDepth)
 		return Job{}, ErrQueueFull
 	}
 	s.jobs[j.id] = j
@@ -344,6 +382,11 @@ func (s *Scheduler) Submit(req SolveRequest) (Job, error) {
 	s.stats.Submitted++
 	s.stats.Queued++
 	s.gcJobsLocked()
+	if s.metrics != nil {
+		s.metrics.submitted.Inc()
+	}
+	s.log.Info("job queued", "job", j.id, "algo", req.Algo, "instance", req.Instance,
+		"seed", req.Seed, "alpha", req.Alpha, "order", req.Order)
 	return j.snapshotLocked(), nil
 }
 
@@ -384,12 +427,16 @@ func (s *Scheduler) runJob(j *job) {
 	if j.canceled || s.stopped {
 		s.finishLocked(j, nil, context.Canceled)
 		s.mu.Unlock()
+		s.logFinished(j)
 		return
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j.status = StatusRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	if tracedAlgo(j.req.Algo) {
+		j.trace = newTraceRecorder(s.metrics, j.req.Algo == "setcover")
+	}
 	s.stats.Running++
 	if s.stats.Running > s.stats.PeakRunning {
 		s.stats.PeakRunning = s.stats.Running
@@ -403,22 +450,54 @@ func (s *Scheduler) runJob(j *job) {
 		return
 	}
 	release()
+	s.log.Info("job started", "job", j.id, "algo", j.req.Algo, "instance", j.req.Instance,
+		"workers", s.cfg.JobWorkers)
 
-	res, err := s.solve(ctx, inst, j.req)
+	res, err := s.solve(ctx, inst, j.req, j.trace)
 	cancel()
 	s.finish(j, res, err)
+}
+
+// tracedAlgo reports whether the algo runs a streaming pass driver (and so
+// produces a per-pass trace); the offline references (greedy, exact) do not
+// stream.
+func tracedAlgo(algo string) bool {
+	switch algo {
+	case "setcover", "maxcover", "progressive", "storeall":
+		return true
+	}
+	return false
+}
+
+// logFinished emits the terminal job-lifecycle log line. Called after the
+// job is terminal (its record is immutable), outside s.mu.
+func (s *Scheduler) logFinished(j *job) {
+	attrs := []any{"job", j.id, "status", string(j.status),
+		"duration", j.finished.Sub(j.started)}
+	if j.result != nil {
+		attrs = append(attrs, "cover", len(j.result.Cover),
+			"passes", j.result.Passes, "space_words", j.result.SpaceWords)
+	}
+	if j.err != nil {
+		attrs = append(attrs, "err", j.err)
+		s.log.Warn("job finished", attrs...)
+		return
+	}
+	s.log.Info("job finished", attrs...)
 }
 
 // finish moves a job to its terminal state, releases its registry pin and
 // updates stats. finishLocked is the variant for callers holding s.mu.
 func (s *Scheduler) finish(j *job, res *SolveResult, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.finishLocked(j, res, err)
+	s.mu.Unlock()
+	s.logFinished(j)
 }
 
 func (s *Scheduler) finishLocked(j *job, res *SolveResult, err error) {
-	if j.status == StatusRunning {
+	wasRunning := j.status == StatusRunning
+	if wasRunning {
 		s.stats.Running--
 	}
 	j.finished = time.Now()
@@ -444,6 +523,12 @@ func (s *Scheduler) finishLocked(j *job, res *SolveResult, err error) {
 		j.status = StatusFailed
 		j.err = err
 		s.stats.Failed++
+	}
+	if s.metrics != nil {
+		s.metrics.completed.With(string(j.status)).Inc()
+		if wasRunning {
+			s.metrics.jobDuration.Observe(j.finished.Sub(j.started).Seconds())
+		}
 	}
 	j.release()
 	close(j.done)
@@ -493,12 +578,19 @@ func (s *Scheduler) replayPlan(inst *streamcover.Instance, hash string) *streamc
 	return plan
 }
 
-// solve dispatches one job to the right solver, threading the job context
-// and the per-job worker budget.
-func (s *Scheduler) solve(ctx context.Context, inst *streamcover.Instance, req SolveRequest) (*SolveResult, error) {
+// solve dispatches one job to the right solver, threading the job context,
+// the per-job worker budget, and the job's pass-trace recorder (nil for the
+// offline references).
+func (s *Scheduler) solve(ctx context.Context, inst *streamcover.Instance, req SolveRequest, tr *traceRecorder) (*SolveResult, error) {
 	workers := s.cfg.JobWorkers
 	if req.Workers > 0 && req.Workers < workers {
 		workers = req.Workers
+	}
+	// A typed-nil recorder must become an untyped-nil sink, or the drivers
+	// would see a non-nil interface and trace into nothing.
+	var sink stream.TraceSink
+	if tr != nil {
+		sink = tr
 	}
 	switch req.Algo {
 	case "setcover":
@@ -506,6 +598,7 @@ func (s *Scheduler) solve(ctx context.Context, inst *streamcover.Instance, req S
 			streamcover.WithAlpha(req.Alpha), streamcover.WithEpsilon(req.Epsilon),
 			streamcover.WithOrder(orderOf(req)), streamcover.WithSeed(req.Seed),
 			streamcover.WithParallelism(workers), streamcover.WithContext(ctx),
+			streamcover.WithPassTrace(sink),
 		}
 		if req.GreedySubsolver {
 			opts = append(opts, streamcover.WithGreedySubsolver())
@@ -528,7 +621,7 @@ func (s *Scheduler) solve(ctx context.Context, inst *streamcover.Instance, req S
 		opts := []streamcover.Option{
 			streamcover.WithEpsilon(req.Epsilon), streamcover.WithOrder(orderOf(req)),
 			streamcover.WithSeed(req.Seed), streamcover.WithParallelism(workers),
-			streamcover.WithContext(ctx),
+			streamcover.WithContext(ctx), streamcover.WithPassTrace(sink),
 		}
 		if req.GreedySubsolver {
 			opts = append(opts, streamcover.WithGreedySubsolver())
@@ -555,10 +648,10 @@ func (s *Scheduler) solve(ctx context.Context, inst *streamcover.Instance, req S
 		return &SolveResult{Cover: cover}, nil
 	case "progressive":
 		pg := baselines.NewProgressiveGreedy(inst.N, req.Lambda)
-		return s.runBaseline(ctx, inst, req, pg, pg.MaxPasses(), pg.Result)
+		return s.runBaseline(ctx, inst, req, pg, pg.MaxPasses(), pg.Result, sink)
 	case "storeall":
 		sa := baselines.NewStoreAllGreedy(inst.N)
-		return s.runBaseline(ctx, inst, req, sa, 2, sa.Result)
+		return s.runBaseline(ctx, inst, req, sa, 2, sa.Result, sink)
 	default:
 		return nil, &BadRequestError{fmt.Sprintf("unknown algo %q", req.Algo)}
 	}
@@ -567,13 +660,13 @@ func (s *Scheduler) solve(ctx context.Context, inst *streamcover.Instance, req S
 // runBaseline drives a streaming baseline over the instance in the
 // requested order, mirroring covercli's local driver.
 func (s *Scheduler) runBaseline(ctx context.Context, inst *streamcover.Instance, req SolveRequest,
-	alg stream.PassAlgorithm, maxPasses int, result func() ([]int, bool)) (*SolveResult, error) {
+	alg stream.PassAlgorithm, maxPasses int, result func() ([]int, bool), sink stream.TraceSink) (*SolveResult, error) {
 	var orderRNG *rng.RNG
 	if orderOf(req) != streamcover.Adversarial {
 		orderRNG = rng.New(req.Seed)
 	}
 	st := stream.FromInstance(inst, orderOf(req), orderRNG)
-	acc, err := stream.RunContext(ctx, st, alg, maxPasses)
+	acc, err := stream.RunTraced(ctx, st, alg, maxPasses, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -723,6 +816,9 @@ func (j *job) snapshotLocked() Job {
 	if !j.finished.IsZero() {
 		t := j.finished
 		out.Finished = &t
+	}
+	if j.trace != nil {
+		out.Trace = j.trace.snapshot() // nil before the first pass completes
 	}
 	return out
 }

@@ -247,6 +247,10 @@ func (rs *ReplayStream) StableItems() bool { return true }
 // Err implements Failer, forwarding the source's error.
 func (rs *ReplayStream) Err() error { return PassErr(rs.src) }
 
+// ReplayedPass implements PassReplayer: every pass of a ReplayStream serves
+// its payloads from the plan.
+func (rs *ReplayStream) ReplayedPass() bool { return true }
+
 // PlanCache states.
 const (
 	planIdle      = iota // before the first Reset
@@ -424,6 +428,12 @@ func (pc *PlanCache) Close() error {
 
 // Ready reports whether a completed plan is serving passes.
 func (pc *PlanCache) Ready() bool { return pc.state == planReady }
+
+// ReplayedPass implements PassReplayer. Traced drivers query it between
+// Reset and the first Next, where the state is stable: a recording pass
+// only promotes to planReady at its clean end, so the recording (honest)
+// pass itself correctly reports false.
+func (pc *PlanCache) ReplayedPass() bool { return pc.state == planReady }
 
 // Disabled reports whether the cache degraded to passthrough (budget
 // exceeded or malformed source).

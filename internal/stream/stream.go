@@ -29,6 +29,7 @@ package stream
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"streamcover/internal/bitset"
 	"streamcover/internal/rng"
@@ -244,8 +245,19 @@ const CancelCheckInterval = 1024
 // A context that can never be cancelled costs nothing: ctx.Done() == nil
 // disables the per-item polls entirely.
 func RunContext(ctx context.Context, s Stream, alg PassAlgorithm, maxPasses int) (Accounting, error) {
+	return RunTraced(ctx, s, alg, maxPasses, nil)
+}
+
+// RunTraced is RunContext with per-pass observability: after every clean
+// pass it emits one PassSample to sink. A nil sink is exactly RunContext —
+// the wall-clock reads and the optional-interface queries are gated on the
+// sink, so untraced runs pay nothing. Tracing never touches the per-item
+// loop: samples are assembled only at pass boundaries, keeping the trace
+// O(passes) and the hot path allocation-free.
+func RunTraced(ctx context.Context, s Stream, alg PassAlgorithm, maxPasses int, sink TraceSink) (Accounting, error) {
 	var acc Accounting
 	cancel := ctx.Done()
+	var passStart time.Time
 	for pass := 0; pass < maxPasses; pass++ {
 		if cancel != nil {
 			select {
@@ -254,7 +266,17 @@ func RunContext(ctx context.Context, s Stream, alg PassAlgorithm, maxPasses int)
 			default:
 			}
 		}
+		itemsBefore := acc.Items
+		replayed := false
+		if sink != nil {
+			passStart = time.Now()
+		}
 		s.Reset()
+		if sink != nil {
+			// Query after Reset: a replaying stream decides per pass, at Reset
+			// time, whether it serves the plan or drives the source honestly.
+			replayed = replayedPass(s)
+		}
 		alg.BeginPass(pass)
 		if sp := alg.Space(); sp > acc.PeakSpace {
 			acc.PeakSpace = sp
@@ -291,6 +313,17 @@ func RunContext(ctx context.Context, s Stream, alg PassAlgorithm, maxPasses int)
 			acc.PeakSpace = sp
 		}
 		acc.Passes = pass + 1
+		if sink != nil {
+			sink.TracePass(PassSample{
+				Pass:       pass,
+				Duration:   time.Since(passStart),
+				Items:      acc.Items - itemsBefore,
+				SpaceWords: alg.Space(),
+				PeakSpace:  acc.PeakSpace,
+				Live:       liveLanes(alg),
+				Replayed:   replayed,
+			})
+		}
 		if done {
 			return acc, nil
 		}

@@ -68,6 +68,38 @@ if command -v curl > /dev/null; then
 		exit 1
 	}
 	echo "serve-smoke: stats OK (1 cache hit, 1 resident instance after 2 uploads)"
+
+	# Metrics smoke: the Prometheus exposition must parse line by line, and
+	# the scheduler counters must move across one more (seed-changed, so
+	# uncached) remote solve.
+	metric() { echo "$1" | awk -v n="$2" '$1 == n { print $2 }'; }
+	BEFORE="$(curl -fsS "http://$ADDR/metrics")"
+	BAD="$(echo "$BEFORE" | grep -Ev '^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* |[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[-+]?(Inf|[0-9][0-9eE.+-]*))$)' || true)"
+	if [ -n "$BAD" ]; then
+		echo "serve-smoke: FAIL — unparseable /metrics lines:"
+		echo "$BAD" | sed 's/^/  /'
+		exit 1
+	fi
+	"$WORK/covercli" -server "http://$ADDR" -in "$WORK/hard.scb" -algo alg1 -alpha 3 -seed 8 > /dev/null
+	AFTER="$(curl -fsS "http://$ADDR/metrics")"
+	SUB_BEFORE="$(metric "$BEFORE" coverd_jobs_submitted_total)"
+	SUB_AFTER="$(metric "$AFTER" coverd_jobs_submitted_total)"
+	PASSES_BEFORE="$(metric "$BEFORE" coverd_solve_passes_total)"
+	PASSES_AFTER="$(metric "$AFTER" coverd_solve_passes_total)"
+	if [ "${SUB_AFTER:-0}" -le "${SUB_BEFORE:-0}" ] || [ "${PASSES_AFTER:-0}" -le "${PASSES_BEFORE:-0}" ]; then
+		echo "serve-smoke: FAIL — metrics did not move across a solve" \
+			"(submitted $SUB_BEFORE -> $SUB_AFTER, passes $PASSES_BEFORE -> $PASSES_AFTER)"
+		exit 1
+	fi
+	echo "$AFTER" | grep -q '^coverd_http_requests_total{route="POST /v1/solve",code="200"}' || {
+		echo "serve-smoke: FAIL — no http request family in /metrics"
+		exit 1
+	}
+	echo "$AFTER" | grep -q '^coverd_registry_resident_bytes' || {
+		echo "serve-smoke: FAIL — no registry family in /metrics"
+		exit 1
+	}
+	echo "serve-smoke: metrics OK (submitted $SUB_BEFORE -> $SUB_AFTER, passes $PASSES_BEFORE -> $PASSES_AFTER)"
 fi
 
 echo "serve-smoke: asking coverd to shut down"
@@ -82,6 +114,11 @@ if [ "$STATUS" -ne 0 ]; then
 fi
 grep -q "bye" "$WORK/coverd.log" || {
 	echo "serve-smoke: FAIL — no clean-shutdown marker:"
+	cat "$WORK/coverd.log"
+	exit 1
+}
+grep -q 'msg="coverd stopped"' "$WORK/coverd.log" || {
+	echo "serve-smoke: FAIL — no structured shutdown log:"
 	cat "$WORK/coverd.log"
 	exit 1
 }

@@ -103,6 +103,7 @@ type options struct {
 	workers   int
 	ctx       context.Context
 	plan      *ReplayPlan
+	trace     TraceSink
 }
 
 func defaultOptions() options {
@@ -196,6 +197,27 @@ func (p *ReplayPlan) Bytes() int64 { return p.plan.Bytes() }
 // fails the solve. nil is allowed and means no replay.
 func WithReplayPlan(p *ReplayPlan) Option { return func(o *options) { o.plan = p } }
 
+// PassSample is one pass of a traced solve: index, wall time, items
+// observed, space at end of pass and peak so far, live guesses (-1 when the
+// algorithm does not expose a guess grid), and whether the pass was served
+// from a replay plan.
+type PassSample = stream.PassSample
+
+// TraceSink receives one PassSample per completed pass of a traced solve.
+type TraceSink = stream.TraceSink
+
+// PassTrace is the basic TraceSink: it collects every sample in order and
+// is safe to read concurrently with the solve.
+type PassTrace = stream.Trace
+
+// WithPassTrace streams one PassSample per completed pass into sink —
+// the paper's cost model (passes × space) made observable. Sampling
+// happens only at pass boundaries, so tracing is O(passes) and never
+// perturbs results: the cover, accounting, and RNG discipline are
+// bit-identical with and without a sink. nil disables tracing (the
+// default), which also skips the per-pass wall-clock reads.
+func WithPassTrace(sink TraceSink) Option { return func(o *options) { o.trace = sink } }
+
 // SetCoverResult reports a streaming set cover run.
 type SetCoverResult struct {
 	// Cover is the chosen set indices, sorted, covering the universe.
@@ -217,7 +239,7 @@ func SolveSetCover(inst *Instance, opts ...Option) (SetCoverResult, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	cfg := core.Config{Alpha: o.alpha, Epsilon: o.eps, SampleC: o.sampleC, Workers: o.workers, Context: o.ctx}
+	cfg := core.Config{Alpha: o.alpha, Epsilon: o.eps, SampleC: o.sampleC, Workers: o.workers, Context: o.ctx, Trace: o.trace}
 	if o.plan != nil {
 		cfg.Plan = o.plan.plan
 	}
@@ -275,7 +297,7 @@ func SolveMaxCoverage(inst *Instance, k int, opts ...Option) (MaxCoverageResult,
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	acc, err := stream.RunContext(ctx, s, alg, 2)
+	acc, err := stream.RunTraced(ctx, s, alg, 2, o.trace)
 	if err != nil {
 		return MaxCoverageResult{}, err
 	}
