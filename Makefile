@@ -36,6 +36,13 @@ REPLAY_BENCH_JSON ?= BENCH_replay.json
 # (same convention as BENCH_masks_scalar.json for the grid kernels).
 REPLAY_BENCH_BASELINE ?= BENCH_replay_base.json
 
+# Observability-plane benchmarks: the same scheduler solve with the request
+# tracing plane on and off. The on/off delta is the plane's whole cost and
+# must stay negligible against the solve itself (the zero-perturbation
+# rule, DESIGN.md §3.5).
+OBS_BENCH_PATTERN ?= BenchmarkSolveTracing
+OBS_BENCH_JSON ?= BENCH_obs.json
+
 .PHONY: all fmt fmt-check vet build test bench bench-json bench-compare serve-smoke import-smoke ci
 
 all: build
@@ -75,6 +82,8 @@ bench-json:
 	@echo "wrote $(DATASET_BENCH_JSON)"
 	$(GO) test -json -run '^$$' -bench '$(REPLAY_BENCH_PATTERN)' -benchmem . > $(REPLAY_BENCH_JSON)
 	@echo "wrote $(REPLAY_BENCH_JSON)"
+	$(GO) test -json -run '^$$' -bench '$(OBS_BENCH_PATTERN)' -benchmem ./internal/service > $(OBS_BENCH_JSON)
+	@echo "wrote $(OBS_BENCH_JSON)"
 
 ## bench-compare: diff the fresh recording against the committed baselines
 ## (informational; never fails on a regression). bench-delta.txt tracks the
@@ -90,8 +99,9 @@ bench-compare: bench-json
 ## serve-smoke: end-to-end coverd check — start the daemon on a random
 ## port, upload a hardgen instance, solve remotely, diff against the
 ## in-process SolveSetCover output, verify cache/dedup stats, check the
-## /metrics exposition parses and its counters move across a solve, and
-## confirm a clean SIGTERM shutdown
+## /metrics exposition parses and its counters move across a solve, pin
+## traceparent propagation end to end (job snapshot, access log, flight
+## recorder, debug endpoints), and confirm a clean SIGTERM shutdown
 serve-smoke:
 	bash scripts/serve_smoke.sh
 

@@ -48,6 +48,35 @@ func New(baseURL string, opts ...Option) *Client {
 	return c
 }
 
+// traceKey is the context key WithTraceContext stores the traceparent
+// header value under.
+type traceKey struct{}
+
+// WithTraceContext returns a context that makes every request issued with
+// it carry the given W3C traceparent header value
+// ("00-<32 hex trace-id>-<16 hex span-id>-01"). The server adopts the
+// trace ID as the request's identity: it appears in the access log, the
+// job record (Job.TraceID) and the recorded span tree, so one ID follows
+// the call from client code to server postmortem. An empty value clears
+// propagation.
+func WithTraceContext(ctx context.Context, traceparent string) context.Context {
+	return context.WithValue(ctx, traceKey{}, traceparent)
+}
+
+// TraceContext returns the traceparent value installed by WithTraceContext,
+// or "" when the context carries none.
+func TraceContext(ctx context.Context) string {
+	tp, _ := ctx.Value(traceKey{}).(string)
+	return tp
+}
+
+// inject adds the propagation header when the context carries a trace.
+func inject(ctx context.Context, req *http.Request) {
+	if tp := TraceContext(ctx); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+}
+
 // do issues a request and decodes the JSON response into out (skipped when
 // out is nil). Non-2xx responses decode into an *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader, contentType string, out any) error {
@@ -58,6 +87,7 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, co
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	inject(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -157,6 +187,17 @@ func (c *Client) Job(ctx context.Context, id string) (Job, error) {
 	return j, err
 }
 
+// Trace fetches the recorded span tree for a trace ID (32 lowercase hex
+// digits, as found in Job.TraceID or an X-Request-Id header) from
+// GET /v1/traces/{id}. It fails with an *APIError (404) when the server
+// runs without tracing, the trace is still in flight, or the flight
+// recorder has already evicted it.
+func (c *Client) Trace(ctx context.Context, traceID string) (RecordedTrace, error) {
+	var rt RecordedTrace
+	err := c.do(ctx, http.MethodGet, "/v1/traces/"+traceID, nil, "", &rt)
+	return rt, err
+}
+
 // Cancel requests cancellation of a queued or running job and returns the
 // job's snapshot.
 func (c *Client) Cancel(ctx context.Context, id string) (Job, error) {
@@ -173,6 +214,7 @@ func (c *Client) Watch(ctx context.Context, id string, onUpdate func(Job)) (Job,
 	if err != nil {
 		return Job{}, err
 	}
+	inject(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return Job{}, err

@@ -146,6 +146,63 @@ type Job struct {
 	// Trace is the per-pass solve timeline, present once the job has begun
 	// streaming passes (never for cache hits or offline reference solves).
 	Trace *SolveTrace `json:"trace,omitempty"`
+	// TraceID is the W3C trace identity of the request that submitted the
+	// job (32 lowercase hex digits) — the key that ties this job record to
+	// the server's access log, lifecycle logs and the recorded span tree
+	// (GET /v1/traces/{id}). Empty when the server runs without tracing.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// TraceEvent is a point-in-time annotation within a recorded span. coverd
+// emits one per completed solve pass, carrying the paper's per-pass cost
+// model (pass index, items, space words, replayed).
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Time  time.Time      `json:"time"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceSpan is one node of a recorded span tree: a timed operation with
+// attributes, events, and nested child spans.
+type TraceSpan struct {
+	SpanID string `json:"span_id"`
+	// Parent is the parent span's ID; for the server's root span of a
+	// client-propagated trace it names the client's span (which has no
+	// record server-side).
+	Parent          string         `json:"parent_span_id,omitempty"`
+	Name            string         `json:"name"`
+	Start           time.Time      `json:"start"`
+	DurationSeconds float64        `json:"duration_seconds"`
+	Attrs           map[string]any `json:"attrs,omitempty"`
+	Events          []TraceEvent   `json:"events,omitempty"`
+	Children        []TraceSpan    `json:"children,omitempty"`
+}
+
+// RecordedTrace is one completed request trace as retained by the server's
+// flight recorder, served by GET /v1/traces/{id} and GET /debug/traces.
+type RecordedTrace struct {
+	TraceID string `json:"trace_id"`
+	// Spans holds the trace's root spans with children nested (normally
+	// one root: the server's per-request span).
+	Spans []TraceSpan `json:"spans"`
+	// DroppedSpans counts spans elided by the recorder's per-trace bound.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+}
+
+// TracesResponse is the body of GET /debug/traces.
+type TracesResponse struct {
+	Traces []RecordedTrace `json:"traces"`
+}
+
+// DebugBundle is the body of GET /debug/bundle: everything needed for a
+// postmortem in one JSON blob.
+type DebugBundle struct {
+	Stats StatsResponse `json:"stats"`
+	// Metrics is the Prometheus text exposition at bundle time (empty when
+	// the server runs without metrics).
+	Metrics string `json:"metrics,omitempty"`
+	// Traces is the flight recorder's retained traces, newest first.
+	Traces []RecordedTrace `json:"traces"`
 }
 
 // UploadResponse is the body of a successful POST /v1/instances.

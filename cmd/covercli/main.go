@@ -28,15 +28,19 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
-
+	"sort"
+	"strings"
 	"time"
 
 	"streamcover"
 	"streamcover/client"
 	"streamcover/internal/baselines"
 	"streamcover/internal/bitset"
+	"streamcover/internal/buildinfo"
 	"streamcover/internal/core"
+	obstrace "streamcover/internal/obs/trace"
 	"streamcover/internal/rng"
 	"streamcover/internal/setsystem"
 	"streamcover/internal/stream"
@@ -59,9 +63,14 @@ func main() {
 		convert = flag.String("convert", "", "write the instance (-in or -gen) to this path instead of solving")
 		to      = flag.String("to", "scb2", "codec for -convert: scb2 (mmap-native), scb1 (compact varint), text")
 		replay  = flag.Bool("replay", false, "cache the first pass of a file-backed solve (elements + prebuilt run lists) and serve later passes from memory; results are identical, later passes skip decode entirely")
-		trace   = flag.Bool("trace", false, "print a per-pass solve timeline (duration, items, space, live lanes) on stderr; stdout is unchanged")
+		trace   = flag.Bool("trace", false, "print a per-pass solve timeline (duration, items, space, live lanes) on stderr; with -server also propagate a traceparent and render the server's span tree; stdout is unchanged")
+		version = flag.Bool("version", false, "print version and build information, then exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "covercli")
+		return
+	}
 	if err := validateFlags(*algo, *gen, *order, *in, *convert, *to); err != nil {
 		fmt.Fprintf(os.Stderr, "covercli: %v\n", err)
 		os.Exit(2)
@@ -234,6 +243,16 @@ func runRemote(base, in, gen string, n, m, opt int, algo string, alpha int, eps 
 
 	ctx := context.Background()
 	c := client.New(base)
+	// With -trace the upload and solve requests propagate one freshly
+	// minted traceparent: the server adopts its trace ID, and both request
+	// trees merge into one recorded trace fetched and rendered below.
+	var sc obstrace.SpanContext
+	if trace {
+		sc = obstrace.SpanContext{
+			TraceID: obstrace.NewTraceID(), SpanID: obstrace.NewSpanID(), Sampled: true,
+		}
+		ctx = client.WithTraceContext(ctx, sc.Traceparent())
+	}
 	up, err := c.UploadInstance(ctx, inst)
 	if err != nil {
 		fatal(err)
@@ -289,6 +308,62 @@ func runRemote(base, in, gen string, n, m, opt int, algo string, alpha int, eps 
 			// passes, so there is no timeline to report.
 			fmt.Fprintln(os.Stderr, "trace: server returned no per-pass trace (result-cache hit?)")
 		}
+		printRemoteSpanTree(c, sc.TraceID.String())
+	}
+}
+
+// printRemoteSpanTree fetches the server's recorded trace and renders the
+// span tree on stderr. The solve's root span ends only after the response
+// bytes are already on their way back, so the first fetches can race the
+// flight-recorder commit — retry briefly before giving up.
+func printRemoteSpanTree(c *client.Client, traceID string) {
+	var rec client.RecordedTrace
+	var err error
+	for attempt := 0; attempt < 40; attempt++ {
+		rec, err = c.Trace(context.Background(), traceID)
+		if err == nil {
+			break
+		}
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: no server span tree for %s: %v (server running with -trace-buffer 0?)\n", traceID, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "trace: server trace %s\n", rec.TraceID)
+	printSpans(rec.Spans, 1)
+	if rec.DroppedSpans > 0 {
+		fmt.Fprintf(os.Stderr, "trace: (%d spans dropped by the recorder's per-trace bound)\n", rec.DroppedSpans)
+	}
+}
+
+// printSpans renders one level of the span tree, children indented under
+// parents: name, duration, sorted attributes, and an event tally.
+func printSpans(spans []client.TraceSpan, depth int) {
+	for _, s := range spans {
+		line := fmt.Sprintf("trace: %s%s %s", strings.Repeat("  ", depth), s.Name,
+			time.Duration(s.DurationSeconds*float64(time.Second)).Round(time.Microsecond))
+		if len(s.Attrs) > 0 {
+			keys := make([]string, 0, len(s.Attrs))
+			for k := range s.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = fmt.Sprintf("%s=%v", k, s.Attrs[k])
+			}
+			line += " (" + strings.Join(parts, " ") + ")"
+		}
+		if len(s.Events) > 0 {
+			line += fmt.Sprintf(" [%d events]", len(s.Events))
+		}
+		fmt.Fprintln(os.Stderr, line)
+		printSpans(s.Children, depth+1)
 	}
 }
 

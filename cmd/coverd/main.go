@@ -16,11 +16,17 @@
 // Operational output is split: stdout carries the same short startup and
 // shutdown lines as always (scripts grep them), while structured logs —
 // job lifecycle, the optional -log-requests access log — go to stderr as
-// log/slog lines. GET /metrics serves the Prometheus exposition, and
-// -debug-addr opts into net/http/pprof on a second, typically private,
-// listener. SIGINT/SIGTERM trigger a graceful shutdown: in-flight HTTP
-// requests drain, queued and running jobs are canceled, then the process
-// exits.
+// log/slog lines. GET /metrics serves the Prometheus exposition.
+//
+// Every request is traced (disable with -trace-buffer 0): a client-sent W3C
+// traceparent header is adopted as the request's identity, the trace ID is
+// echoed in X-Request-Id and Job.TraceID, and completed traces are retained
+// in an in-process flight recorder served at GET /v1/traces/{id}.
+// -debug-addr opts into a second, typically private, listener carrying
+// net/http/pprof plus GET /debug/traces (recent span trees) and
+// GET /debug/bundle (stats + metrics + traces in one document).
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight HTTP requests
+// drain, queued and running jobs are canceled, then the process exits.
 package main
 
 import (
@@ -37,7 +43,9 @@ import (
 	"syscall"
 	"time"
 
+	"streamcover/internal/buildinfo"
 	"streamcover/internal/obs"
+	"streamcover/internal/obs/trace"
 	"streamcover/internal/registry"
 	"streamcover/internal/service"
 )
@@ -65,10 +73,17 @@ func main() {
 		replay      = flag.Bool("replay", true, "build a pass-replay plan per instance lazily on first solve (plan bytes count against -mem-budget-mb, visible as plan_bytes in /v1/stats); false streams honestly every pass")
 		logRequests = flag.Bool("log-requests", false, "emit one structured access-log line per HTTP request on stderr")
 		logLevel    = flag.String("log-level", "info", "structured log threshold on stderr: debug, info, warn or error")
-		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this extra address (empty disables; keep it private)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and the trace debug endpoints on this extra address (empty disables; keep it private)")
+		debugFile   = flag.String("debug-addr-file", "", "write the bound -debug-addr address to this file once listening")
+		traceBuf    = flag.Int("trace-buffer", trace.DefaultCapacity, "completed request traces retained by the flight recorder (0 disables tracing)")
+		version     = flag.Bool("version", false, "print version and build information, then exit")
 	)
 	flag.Var(&loads, "load", "instance file to preload (repeatable; text or binary)")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "coverd")
+		return
+	}
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "coverd: unexpected arguments %v\n", flag.Args())
 		flag.Usage()
@@ -82,6 +97,7 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	metrics := obs.NewRegistry()
+	buildinfo.Register(metrics)
 	reg := registry.New(registry.Config{BudgetBytes: *memBudget << 20})
 	reg.RegisterMetrics(metrics)
 	for _, path := range loads {
@@ -104,6 +120,9 @@ func main() {
 	serverOpts := []service.ServerOption{service.WithMetrics(metrics), service.WithLogger(logger)}
 	if *logRequests {
 		serverOpts = append(serverOpts, service.WithAccessLog())
+	}
+	if *traceBuf > 0 {
+		serverOpts = append(serverOpts, service.WithTracing(trace.NewTracer(*traceBuf, 0)))
 	}
 	handler := service.NewServer(reg, sched, *maxUploadMB<<20, serverOpts...)
 
@@ -128,21 +147,28 @@ func main() {
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {
-		// An explicit pprof mux, not http.DefaultServeMux: only the profile
-		// endpoints exist here, and only on this opt-in listener.
+		// An explicit debug mux, not http.DefaultServeMux: only the profile
+		// and trace endpoints exist here, and only on this opt-in listener.
 		dmux := http.NewServeMux()
 		dmux.HandleFunc("/debug/pprof/", pprof.Index)
 		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler.RegisterDebug(dmux)
 		dln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "coverd: -debug-addr: %v\n", err)
 			os.Exit(1)
 		}
+		if *debugFile != "" {
+			if err := os.WriteFile(*debugFile, []byte(dln.Addr().String()+"\n"), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "coverd: write -debug-addr-file: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		debugSrv = &http.Server{Handler: dmux}
-		logger.Info("pprof listening", "addr", dln.Addr().String())
+		logger.Info("debug listening", "addr", dln.Addr().String())
 		go func() {
 			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Warn("pprof server stopped", "err", err)

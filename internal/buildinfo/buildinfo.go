@@ -1,0 +1,65 @@
+// Package buildinfo identifies the running binary: the module version or
+// VCS revision the Go linker baked in, the toolchain, and the dispatched
+// bitset grid kernel. coverd exposes the identity as the conventional
+// coverd_build_info constant-1 gauge, and both binaries print it for
+// -version — so a metrics scrape or a bug report always says exactly which
+// build and which kernel produced the numbers.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+
+	"streamcover/internal/bitset"
+	"streamcover/internal/obs"
+)
+
+// Version resolves the binary's version string: the main module's version
+// for a build of a tagged module, else the VCS revision the toolchain
+// stamped (truncated, with a -dirty suffix for local edits), else "devel"
+// (test binaries, builds outside a checkout).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+}
+
+// Print writes the one-line -version output for the named binary.
+func Print(w io.Writer, binary string) {
+	fmt.Fprintf(w, "%s %s (%s, grid kernel %s)\n",
+		binary, Version(), runtime.Version(), bitset.GridKernel())
+}
+
+// Register exposes the build identity on r as coverd_build_info: a
+// constant-1 gauge whose information lives in its labels, the standard
+// shape for joining build metadata onto other series.
+func Register(r *obs.Registry) {
+	r.GaugeVec("coverd_build_info",
+		"Build identity of the running coverd binary (constant 1; the information is in the labels).",
+		"version", "goversion", "kernel").
+		With(Version(), runtime.Version(), bitset.GridKernel()).Set(1)
+}

@@ -1,0 +1,45 @@
+package buildinfo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamcover/internal/obs"
+)
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version() is empty")
+	}
+}
+
+func TestPrint(t *testing.T) {
+	var buf bytes.Buffer
+	Print(&buf, "coverd")
+	out := buf.String()
+	if !strings.HasPrefix(out, "coverd ") || !strings.Contains(out, "grid kernel") {
+		t.Fatalf("unexpected -version line: %q", out)
+	}
+}
+
+func TestRegisterExposesBuildInfo(t *testing.T) {
+	r := obs.NewRegistry()
+	Register(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "coverd_build_info{") {
+		t.Fatalf("exposition missing coverd_build_info:\n%s", out)
+	}
+	for _, label := range []string{`version="`, `goversion="`, `kernel="`} {
+		if !strings.Contains(out, label) {
+			t.Fatalf("exposition missing %s label:\n%s", label, out)
+		}
+	}
+	if !strings.Contains(out, "} 1\n") {
+		t.Fatalf("build info gauge not constant 1:\n%s", out)
+	}
+}

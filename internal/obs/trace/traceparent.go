@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Traceparent is the name of the W3C Trace Context propagation header.
+const Traceparent = "traceparent"
+
+// traceparent syntax (W3C Trace Context, version 00):
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	  2 hex      32 hex       16 hex        2 hex
+//
+// all lowercase, 55 bytes total for version 00.
+const (
+	tpLen        = 55
+	tpVersionEnd = 2
+	tpTraceEnd   = tpVersionEnd + 1 + 32
+	tpSpanEnd    = tpTraceEnd + 1 + 16
+)
+
+// ErrTraceparent is the sentinel all traceparent parse failures wrap.
+var ErrTraceparent = errors.New("malformed traceparent")
+
+// Traceparent renders the context as a version-00 traceparent header value.
+// ParseTraceparent is its exact inverse.
+func (sc SpanContext) Traceparent() string {
+	var b [tpLen]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], sc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], sc.SpanID[:])
+	b[52], b[53] = '-', '0'
+	if sc.Sampled {
+		b[54] = '1'
+	} else {
+		b[54] = '0'
+	}
+	return string(b[:])
+}
+
+// ParseTraceparent parses a traceparent header value into a SpanContext.
+// It enforces the W3C rules: lowercase hex throughout, version "ff" and
+// all-zero IDs invalid, version 00 exactly 55 bytes. Higher versions are
+// accepted forward-compatibly as long as they start with the version-00
+// field layout and continue with "-" + extra data (the recommendation's
+// parse-as-00 rule). Only the sampled bit of the flags is interpreted.
+func ParseTraceparent(h string) (SpanContext, error) {
+	var sc SpanContext
+	if len(h) < tpLen {
+		return sc, fmt.Errorf("%w: %d bytes, want at least %d", ErrTraceparent, len(h), tpLen)
+	}
+	if !isLowerHex(h[:tpVersionEnd]) {
+		return sc, fmt.Errorf("%w: bad version %q", ErrTraceparent, h[:tpVersionEnd])
+	}
+	if h[:tpVersionEnd] == "ff" {
+		return sc, fmt.Errorf("%w: version ff is forbidden", ErrTraceparent)
+	}
+	if h[:tpVersionEnd] == "00" && len(h) != tpLen {
+		return sc, fmt.Errorf("%w: version 00 must be exactly %d bytes, got %d", ErrTraceparent, tpLen, len(h))
+	}
+	if len(h) > tpLen && h[tpLen] != '-' {
+		return sc, fmt.Errorf("%w: trailing data must start with '-'", ErrTraceparent)
+	}
+	if h[tpVersionEnd] != '-' || h[tpTraceEnd] != '-' || h[tpSpanEnd] != '-' {
+		return sc, fmt.Errorf("%w: bad field separators", ErrTraceparent)
+	}
+	traceHex := h[tpVersionEnd+1 : tpTraceEnd]
+	spanHex := h[tpTraceEnd+1 : tpSpanEnd]
+	flagsHex := h[tpSpanEnd+1 : tpLen]
+	if !isLowerHex(traceHex) {
+		return sc, fmt.Errorf("%w: bad trace-id %q", ErrTraceparent, traceHex)
+	}
+	if !isLowerHex(spanHex) {
+		return sc, fmt.Errorf("%w: bad parent-id %q", ErrTraceparent, spanHex)
+	}
+	if !isLowerHex(flagsHex) {
+		return sc, fmt.Errorf("%w: bad trace-flags %q", ErrTraceparent, flagsHex)
+	}
+	hex.Decode(sc.TraceID[:], []byte(traceHex))
+	hex.Decode(sc.SpanID[:], []byte(spanHex))
+	if sc.TraceID.IsZero() {
+		return SpanContext{}, fmt.Errorf("%w: all-zero trace-id", ErrTraceparent)
+	}
+	if sc.SpanID.IsZero() {
+		return SpanContext{}, fmt.Errorf("%w: all-zero parent-id", ErrTraceparent)
+	}
+	var flags [1]byte
+	hex.Decode(flags[:], []byte(flagsHex))
+	sc.Sampled = flags[0]&0x01 != 0
+	return sc, nil
+}
+
+// isLowerHex reports whether s is entirely lowercase hex digits. The W3C
+// format forbids uppercase, so strings.ToLower normalization would accept
+// headers other implementations reject.
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// ParseRequestID parses a bare 32-hex trace ID (the form coverd echoes in
+// X-Request-Id headers and logs), tolerating a full traceparent value too.
+func ParseRequestID(s string) (TraceID, error) {
+	if strings.Contains(s, "-") {
+		sc, err := ParseTraceparent(s)
+		return sc.TraceID, err
+	}
+	var t TraceID
+	if len(s) != 32 || !isLowerHex(s) {
+		return t, fmt.Errorf("%w: want 32 lowercase hex digits", ErrTraceparent)
+	}
+	hex.Decode(t[:], []byte(s))
+	if t.IsZero() {
+		return TraceID{}, fmt.Errorf("%w: all-zero trace-id", ErrTraceparent)
+	}
+	return t, nil
+}

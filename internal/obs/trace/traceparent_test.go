@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// mkSC builds a deterministic valid SpanContext for table tests.
+func mkSC(sampled bool) SpanContext {
+	var sc SpanContext
+	for i := range sc.TraceID {
+		sc.TraceID[i] = byte(i + 1)
+	}
+	for i := range sc.SpanID {
+		sc.SpanID[i] = byte(0xa0 + i)
+	}
+	sc.Sampled = sampled
+	return sc
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	for _, sampled := range []bool{true, false} {
+		sc := mkSC(sampled)
+		h := sc.Traceparent()
+		if len(h) != tpLen {
+			t.Fatalf("Traceparent() = %q: %d bytes, want %d", h, len(h), tpLen)
+		}
+		got, err := ParseTraceparent(h)
+		if err != nil {
+			t.Fatalf("ParseTraceparent(%q): %v", h, err)
+		}
+		if got != sc {
+			t.Fatalf("round trip: got %+v, want %+v", got, sc)
+		}
+	}
+	// A freshly minted context must round-trip too.
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	got, err := ParseTraceparent(sc.Traceparent())
+	if err != nil || got != sc {
+		t.Fatalf("fresh round trip: got %+v (%v), want %+v", got, err, sc)
+	}
+}
+
+func TestParseTraceparentValid(t *testing.T) {
+	valid := mkSC(true).Traceparent()
+	cases := []struct {
+		name    string
+		in      string
+		sampled bool
+	}{
+		{"canonical sampled", valid, true},
+		{"not sampled", strings.TrimSuffix(valid, "01") + "00", false},
+		{"extra flag bits only sampled interpreted", strings.TrimSuffix(valid, "01") + "03", true},
+		{"flag bit 2 not sampled", strings.TrimSuffix(valid, "01") + "02", false},
+		{"future version same length", "42" + valid[2:], true},
+		{"future version with suffix", "42" + valid[2:] + "-extrafield", true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sc, err := ParseTraceparent(c.in)
+			if err != nil {
+				t.Fatalf("ParseTraceparent(%q): %v", c.in, err)
+			}
+			if !sc.Valid() {
+				t.Fatalf("parsed context invalid: %+v", sc)
+			}
+			if sc.Sampled != c.sampled {
+				t.Fatalf("sampled = %v, want %v", sc.Sampled, c.sampled)
+			}
+		})
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	valid := mkSC(true).Traceparent()
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"short", "00-abc"},
+		{"one byte short", valid[:tpLen-1]},
+		{"version ff", "ff" + valid[2:]},
+		{"uppercase version", "0A" + valid[2:]},
+		{"non-hex version", "0g" + valid[2:]},
+		{"version 00 with trailing data", valid + "-extra"},
+		{"trailing data without dash", "42" + valid[2:] + "extra"},
+		{"bad separator after version", valid[:2] + "_" + valid[3:]},
+		{"bad separator after trace id", valid[:35] + "_" + valid[36:]},
+		{"bad separator after span id", valid[:52] + "_" + valid[53:]},
+		{"uppercase trace id", valid[:3] + strings.ToUpper(valid[3:35]) + valid[35:]},
+		{"non-hex trace id", valid[:3] + strings.Repeat("z", 32) + valid[35:]},
+		{"zero trace id", valid[:3] + strings.Repeat("0", 32) + valid[35:]},
+		{"non-hex span id", valid[:36] + strings.Repeat("q", 16) + valid[52:]},
+		{"zero span id", valid[:36] + strings.Repeat("0", 16) + valid[52:]},
+		{"non-hex flags", valid[:53] + "zz"},
+		{"uppercase flags", valid[:53] + "0A"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sc, err := ParseTraceparent(c.in)
+			if err == nil {
+				t.Fatalf("ParseTraceparent(%q) = %+v, want error", c.in, sc)
+			}
+			if !errors.Is(err, ErrTraceparent) {
+				t.Fatalf("error %v does not wrap ErrTraceparent", err)
+			}
+			if sc.Valid() {
+				t.Fatalf("failed parse returned a valid context: %+v", sc)
+			}
+		})
+	}
+}
+
+func TestParseRequestID(t *testing.T) {
+	sc := mkSC(true)
+	id, err := ParseRequestID(sc.TraceID.String())
+	if err != nil || id != sc.TraceID {
+		t.Fatalf("bare hex: got %v (%v), want %v", id, err, sc.TraceID)
+	}
+	id, err = ParseRequestID(sc.Traceparent())
+	if err != nil || id != sc.TraceID {
+		t.Fatalf("traceparent form: got %v (%v), want %v", id, err, sc.TraceID)
+	}
+	for _, bad := range []string{"", "xyz", strings.Repeat("0", 32), strings.Repeat("A", 32)} {
+		if _, err := ParseRequestID(bad); err == nil {
+			t.Fatalf("ParseRequestID(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// FuzzParseTraceparent pins two properties: the parser never panics on
+// arbitrary bytes, and parse∘format is the identity — any header that
+// parses must re-render (possibly normalized: version 00, sampled-bit-only
+// flags) to a header that parses back to the same SpanContext.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add(mkSC(true).Traceparent())
+	f.Add(mkSC(false).Traceparent())
+	f.Add("42" + mkSC(true).Traceparent()[2:] + "-suffix")
+	f.Add("")
+	f.Add("ff-00000000000000000000000000000000-0000000000000000-00")
+	f.Add(strings.Repeat("-", 60))
+	f.Fuzz(func(t *testing.T, in string) {
+		sc, err := ParseTraceparent(in)
+		if err != nil {
+			if sc.Valid() {
+				t.Fatalf("error %v alongside a valid context %+v", err, sc)
+			}
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("nil error alongside invalid context %+v (input %q)", sc, in)
+		}
+		h := sc.Traceparent()
+		sc2, err := ParseTraceparent(h)
+		if err != nil {
+			t.Fatalf("re-parse of formatted %q failed: %v (input %q)", h, err, in)
+		}
+		if sc2 != sc {
+			t.Fatalf("parse∘format not identity: %+v vs %+v (input %q)", sc2, sc, in)
+		}
+	})
+}

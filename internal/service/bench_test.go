@@ -1,0 +1,75 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"streamcover"
+	"streamcover/client"
+	"streamcover/internal/obs/trace"
+	"streamcover/internal/registry"
+	"streamcover/internal/stream"
+)
+
+// BenchmarkSolveTracing measures the request-tracing plane's cost on a full
+// scheduler solve: identical jobs with the flight recorder attached (root
+// span, scheduler child spans, one event per pass) and with tracing off
+// (the nil chain). The recorded delta is the plane's whole overhead —
+// BENCH_obs.json tracks it across PRs.
+func BenchmarkSolveTracing(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			reg := registry.New(registry.Config{})
+			sched := NewScheduler(reg, Config{Slots: 1, CacheEntries: -1})
+			defer sched.Stop()
+			inst, _ := streamcover.GeneratePlanted(3, 2048, 256, 4)
+			hash, _, err := reg.Put(inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var tracer *trace.Tracer
+			if mode == "on" {
+				tracer = trace.NewTracer(trace.DefaultCapacity, 0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A fresh seed defeats the result cache; StartRoot on a nil
+				// tracer is the production disabled path.
+				ctx, root := tracer.StartRoot(context.Background(), "bench", trace.SpanContext{})
+				job, err := sched.SubmitContext(ctx, SolveRequest{
+					Instance: hash, Seed: uint64(i + 1), NoCache: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				final, err := sched.Wait(context.Background(), job.ID)
+				root.End()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if final.Status != StatusDone {
+					b.Fatalf("job %s: %s", final.Status, final.Error)
+				}
+			}
+		})
+	}
+}
+
+// TestTracingDisabledHotPathAllocs guards the zero-perturbation contract at
+// the service layer: with no span attached (tracing off), the per-pass
+// bridge must not allocate — the pass slice is the only append, and it is
+// pre-grown here so any allocation the test sees comes from the tracing
+// path. The trace package pins the same property for the span API itself.
+func TestTracingDisabledHotPathAllocs(t *testing.T) {
+	rec := newTraceRecorder(nil, false)
+	rec.passes = make([]client.PassTrace, 0, 8)
+	sample := stream.PassSample{Pass: 1, Items: 100, SpaceWords: 64, Live: -1}
+	allocs := testing.AllocsPerRun(200, func() {
+		rec.passes = rec.passes[:0]
+		rec.TracePass(sample)
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced TracePass allocates %.1f times per pass, want 0", allocs)
+	}
+}

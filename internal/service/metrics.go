@@ -6,6 +6,7 @@ import (
 	"streamcover/client"
 	"streamcover/internal/bitset"
 	"streamcover/internal/obs"
+	"streamcover/internal/obs/trace"
 	"streamcover/internal/stream"
 )
 
@@ -75,9 +76,19 @@ func newSchedMetrics(r *obs.Registry, s *Scheduler) *schedMetrics {
 type traceRecorder struct {
 	m      *schedMetrics // nil when the scheduler has no metrics registry
 	kernel string
+	span   *trace.Span // solve span pass events land on; nil when untraced
 
 	mu     sync.Mutex
 	passes []client.PassTrace
+}
+
+// setSpan routes subsequent pass samples to sp as span events. Called once,
+// before the solve starts emitting; nil receivers (untraced algos) and nil
+// spans (tracing off) are no-ops downstream.
+func (t *traceRecorder) setSpan(sp *trace.Span) {
+	if t != nil {
+		t.span = sp
+	}
 }
 
 // newTraceRecorder returns a recorder for one streaming job. gridKernel
@@ -93,6 +104,16 @@ func newTraceRecorder(m *schedMetrics, gridKernel bool) *traceRecorder {
 
 // TracePass implements stream.TraceSink.
 func (t *traceRecorder) TracePass(s stream.PassSample) {
+	// Recording() gates the attr assembly so untraced solves stay
+	// allocation-free here (the events would be dropped anyway).
+	if t.span.Recording() {
+		t.span.AddEvent("pass",
+			trace.Int("pass", s.Pass),
+			trace.Float64("duration_seconds", s.Duration.Seconds()),
+			trace.Int("items", s.Items),
+			trace.Int("space_words", s.SpaceWords),
+			trace.Bool("replayed", s.Replayed))
+	}
 	if t.m != nil {
 		t.m.passDuration.Observe(s.Duration.Seconds())
 		t.m.passesTotal.Inc()

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +13,7 @@ import (
 
 	"streamcover/client"
 	"streamcover/internal/obs"
+	"streamcover/internal/obs/trace"
 	"streamcover/internal/registry"
 	"streamcover/internal/setsystem"
 )
@@ -34,6 +37,8 @@ import (
 //	GET    /v1/stats            scheduler + registry + cache counters
 //	GET    /metrics             Prometheus text exposition (only with
 //	                            WithMetrics)
+//	GET    /v1/traces/{id}      recorded span tree for one trace ID (only
+//	                            with WithTracing)
 //
 // Every response is JSON; errors are {"error": "..."} with a matching
 // status code (400 malformed, 404 unknown instance/job, 413 oversized
@@ -47,7 +52,8 @@ type Server struct {
 
 	log       *slog.Logger
 	accessLog bool
-	metrics   *httpMetrics // nil without WithMetrics
+	metrics   *httpMetrics  // nil without WithMetrics
+	tracer    *trace.Tracer // nil without WithTracing
 }
 
 // DefaultMaxUploadBytes bounds POST /v1/instances bodies.
@@ -78,6 +84,16 @@ func WithAccessLog() ServerOption {
 	return func(s *Server) { s.accessLog = true }
 }
 
+// WithTracing turns on the request-tracing plane: every request gets a
+// root span (adopting a client-sent W3C traceparent, or minting fresh
+// identity), handlers and the scheduler hang child spans and pass events
+// off it, and completed traces land in tr's flight recorder, served at
+// GET /v1/traces/{id} and the debug endpoints (RegisterDebug). A nil
+// tracer leaves tracing off.
+func WithTracing(tr *trace.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = tr }
+}
+
 // NewServer wires the handler around a registry and scheduler.
 // maxUploadBytes <= 0 selects DefaultMaxUploadBytes.
 func NewServer(reg *registry.Registry, sched *Scheduler, maxUploadBytes int64, opts ...ServerOption) *Server {
@@ -100,6 +116,9 @@ func NewServer(reg *registry.Registry, sched *Scheduler, maxUploadBytes int64, o
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	if s.metrics != nil {
 		s.mux.Handle("GET /metrics", obs.Handler(s.metrics.reg))
+	}
+	if s.tracer != nil {
+		s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	}
 	return s
 }
@@ -151,10 +170,11 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// ServeHTTP implements http.Handler. With metrics or access logging enabled
-// it wraps the mux in a recording middleware; otherwise it is the bare mux.
+// ServeHTTP implements http.Handler. With metrics, access logging or tracing
+// enabled it wraps the mux in a recording middleware; otherwise it is the
+// bare mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.metrics == nil && !s.accessLog {
+	if s.metrics == nil && !s.accessLog && s.tracer == nil {
 		s.mux.ServeHTTP(w, r)
 		return
 	}
@@ -166,6 +186,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
 	}
+	// Request identity: adopt the client's traceparent when one parses
+	// (malformed headers are treated as absent, per the W3C recommendation),
+	// otherwise mint fresh. The trace ID doubles as the request ID — echoed
+	// in X-Request-Id, stamped on the access log, and with tracing on it
+	// names the recorded span tree at GET /v1/traces/{id}.
+	var remote trace.SpanContext
+	if tp := r.Header.Get(trace.Traceparent); tp != "" {
+		remote, _ = trace.ParseTraceparent(tp)
+	}
+	var sp *trace.Span
+	if s.tracer != nil {
+		var ctx context.Context
+		ctx, sp = s.tracer.StartRoot(r.Context(), "HTTP "+route, remote)
+		sp.SetAttr("http.method", r.Method)
+		sp.SetAttr("http.path", r.URL.Path)
+		r = r.WithContext(ctx)
+	}
+	requestID := sp.Context().TraceID
+	if requestID.IsZero() {
+		if remote.Valid() {
+			requestID = remote.TraceID
+		} else {
+			requestID = trace.NewTraceID()
+		}
+	}
+	w.Header().Set("X-Request-Id", requestID.String())
 	sw := &statusWriter{ResponseWriter: w}
 	start := time.Now()
 	s.mux.ServeHTTP(sw, r)
@@ -173,14 +219,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if sw.code == 0 {
 		sw.code = http.StatusOK
 	}
+	if sp != nil {
+		sp.SetInt("http.status", sw.code)
+		sp.End()
+	}
 	if s.metrics != nil {
 		s.metrics.requests.With(route, strconv.Itoa(sw.code)).Inc()
 		s.metrics.duration.With(route).Observe(elapsed.Seconds())
 	}
 	if s.accessLog {
-		s.log.Info("request", "method", r.Method, "path", r.URL.Path,
+		args := []any{"method", r.Method, "path", r.URL.Path,
 			"route", route, "code", sw.code, "duration", elapsed,
-			"remote", r.RemoteAddr)
+			"remote", r.RemoteAddr, "request_id", requestID.String()}
+		if sc := sp.Context(); sc.Valid() {
+			args = append(args, "trace_id", sc.TraceID.String(), "span_id", sc.SpanID.String())
+		}
+		s.log.Info("request", args...)
 	}
 }
 
@@ -236,7 +290,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		req.Wait = b
 	}
-	job, err := s.sched.Submit(req)
+	job, err := s.sched.SubmitContext(r.Context(), req)
 	if err != nil {
 		s.writeError(w, statusFor(err), err.Error())
 		return
@@ -369,11 +423,78 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, StatsResponse{
+	s.writeJSON(w, http.StatusOK, s.stats())
+}
+
+func (s *Server) stats() StatsResponse {
+	return StatsResponse{
 		Scheduler: s.sched.Stats(),
 		Registry:  s.reg.Stats(),
 		Instances: s.reg.Snapshot(),
-	})
+	}
+}
+
+// handleTrace serves one recorded span tree by trace ID. 404 means the
+// trace is still in flight (a span has not ended yet), already evicted from
+// the flight recorder ring, or was never seen.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := trace.ParseRequestID(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("bad trace id %q: want 32 lowercase hex digits or a traceparent value", r.PathValue("id")))
+		return
+	}
+	rec, ok := s.tracer.Lookup(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound,
+			fmt.Sprintf("trace %s not recorded (still in flight, evicted, or never seen)", id))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, wireTrace(rec))
+}
+
+// debugRecentTraces bounds /debug/traces and /debug/bundle responses.
+const debugRecentTraces = 16
+
+// RegisterDebug installs the operator debug endpoints on mux — coverd hangs
+// these off the -debug-addr listener next to pprof, never the public API
+// port:
+//
+//	GET /debug/traces   recent completed traces as JSON span trees, newest
+//	                    first (?n= bounds the count, default 16)
+//	GET /debug/bundle   one self-contained JSON document for attaching to an
+//	                    incident report: stats + metrics exposition + recent
+//	                    traces
+func (s *Server) RegisterDebug(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("GET /debug/bundle", s.handleDebugBundle)
+}
+
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	n := debugRecentTraces
+	if v := r.URL.Query().Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p <= 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad n parameter %q: want a positive integer", v))
+			return
+		}
+		n = p
+	}
+	s.writeJSON(w, http.StatusOK, TracesResponse{Traces: wireTraces(s.tracer.Recent(n))})
+}
+
+func (s *Server) handleDebugBundle(w http.ResponseWriter, _ *http.Request) {
+	bundle := DebugBundle{
+		Stats:  s.stats(),
+		Traces: wireTraces(s.tracer.Recent(debugRecentTraces)),
+	}
+	if s.metrics != nil {
+		var buf bytes.Buffer
+		if err := s.metrics.reg.WritePrometheus(&buf); err == nil {
+			bundle.Metrics = buf.String()
+		}
+	}
+	s.writeJSON(w, http.StatusOK, bundle)
 }
 
 // statusFor maps service/registry errors to HTTP status codes.

@@ -53,6 +53,7 @@ import (
 	"streamcover/client"
 	"streamcover/internal/baselines"
 	"streamcover/internal/obs"
+	"streamcover/internal/obs/trace"
 	"streamcover/internal/registry"
 	"streamcover/internal/rng"
 	"streamcover/internal/stream"
@@ -176,6 +177,15 @@ type job struct {
 	canceled bool               // cancel requested (covers the queued window)
 	trace    *traceRecorder     // per-pass solve timeline (streaming algos)
 	done     chan struct{}
+
+	// Request-tracing state: nil/empty when the submitting request carried
+	// no span (tracing off). The job span brackets the job's whole life —
+	// it keeps the trace open in the flight recorder until the job is
+	// terminal, even after the submitting HTTP request has returned — and
+	// the queue span times the admission-to-worker wait under it.
+	span      *trace.Span
+	queueSpan *trace.Span
+	traceID   string
 }
 
 // BadRequestError is a validation failure the HTTP layer maps to 400.
@@ -312,11 +322,28 @@ func (s *Scheduler) Config() Config { return s.cfg }
 // unknown instance hash, ErrQueueFull under backpressure and ErrStopped
 // after shutdown.
 func (s *Scheduler) Submit(req SolveRequest) (Job, error) {
+	return s.SubmitContext(context.Background(), req)
+}
+
+// SubmitContext is Submit with a caller context, used only for tracing: when
+// ctx carries a span (the HTTP root), the scheduler hangs its admission,
+// pin, cache, queue and solve spans off it, and the job's snapshots carry
+// the trace ID. The context does NOT bound the job's execution — jobs are
+// owned by the scheduler and canceled via Cancel, never by the submitting
+// request going away (a waiting handler does that explicitly).
+func (s *Scheduler) SubmitContext(ctx context.Context, req SolveRequest) (Job, error) {
+	ctx, adm := trace.StartSpan(ctx, "admission")
+	defer adm.End()
 	req, err := normalize(req)
 	if err != nil {
 		return Job{}, err
 	}
+	adm.SetAttr("algo", req.Algo)
+	adm.SetAttr("instance", req.Instance)
+	_, pin := trace.StartSpan(ctx, "pin")
 	_, release, err := s.reg.Acquire(req.Instance)
+	pin.SetBool("ok", err == nil)
+	pin.End()
 	if err != nil {
 		return Job{}, err
 	}
@@ -339,8 +366,15 @@ func (s *Scheduler) Submit(req SolveRequest) (Job, error) {
 		release: release,
 		done:    make(chan struct{}),
 	}
+	if adm.Recording() {
+		j.traceID = adm.Context().TraceID.String()
+	}
 	if !req.NoCache && s.cfg.CacheEntries >= 0 {
-		if res, ok := s.cache[cacheKey(req)]; ok {
+		_, cs := trace.StartSpan(ctx, "cache")
+		res, ok := s.cache[cacheKey(req)]
+		cs.SetBool("hit", ok)
+		cs.End()
+		if ok {
 			now := time.Now()
 			j.status = StatusDone
 			j.result = res
@@ -359,7 +393,7 @@ func (s *Scheduler) Submit(req SolveRequest) (Job, error) {
 				s.metrics.cacheHits.Inc()
 				s.metrics.completed.With(string(StatusDone)).Inc()
 			}
-			s.log.Info("job cache hit", "job", j.id, "algo", req.Algo, "instance", req.Instance)
+			s.log.Info("job cache hit", jobLogAttrs(j, "algo", req.Algo, "instance", req.Instance)...)
 			return j.snapshotLocked(), nil
 		}
 		if s.metrics != nil {
@@ -377,6 +411,13 @@ func (s *Scheduler) Submit(req SolveRequest) (Job, error) {
 			"queue_depth", s.cfg.QueueDepth)
 		return Job{}, ErrQueueFull
 	}
+	// The job span stays open until finishLocked, holding the trace in
+	// flight across the async gap; the queue span under it times the wait
+	// for a worker slot (ended in runJob, or at cancellation).
+	jctx, jspan := trace.StartSpan(ctx, "job")
+	jspan.SetAttr("job", j.id)
+	j.span = jspan
+	_, j.queueSpan = trace.StartSpan(jctx, "queue")
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.stats.Submitted++
@@ -385,9 +426,20 @@ func (s *Scheduler) Submit(req SolveRequest) (Job, error) {
 	if s.metrics != nil {
 		s.metrics.submitted.Inc()
 	}
-	s.log.Info("job queued", "job", j.id, "algo", req.Algo, "instance", req.Instance,
-		"seed", req.Seed, "alpha", req.Alpha, "order", req.Order)
+	s.log.Info("job queued", jobLogAttrs(j, "algo", req.Algo, "instance", req.Instance,
+		"seed", req.Seed, "alpha", req.Alpha, "order", req.Order)...)
 	return j.snapshotLocked(), nil
+}
+
+// jobLogAttrs builds a job-lifecycle log attribute list, appending the
+// trace ID when the job was submitted under a traced request so one grep
+// pivots between access log, lifecycle log and recorded trace.
+func jobLogAttrs(j *job, attrs ...any) []any {
+	out := append([]any{"job", j.id}, attrs...)
+	if j.traceID != "" {
+		out = append(out, "trace_id", j.traceID)
+	}
+	return out
 }
 
 // gcJobsLocked bounds the job table at Config.MaxJobs records by
@@ -424,6 +476,7 @@ func (s *Scheduler) worker() {
 func (s *Scheduler) runJob(j *job) {
 	s.mu.Lock()
 	s.stats.Queued--
+	j.queueSpan.End()
 	if j.canceled || s.stopped {
 		s.finishLocked(j, nil, context.Canceled)
 		s.mu.Unlock()
@@ -431,6 +484,12 @@ func (s *Scheduler) runJob(j *job) {
 		return
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	if j.span != nil {
+		// The job runs on a scheduler-owned context, not the submitting
+		// request's — re-attach the job span so solve-side StartSpan calls
+		// land in the same trace.
+		ctx = trace.ContextWithSpan(ctx, j.span)
+	}
 	j.status = StatusRunning
 	j.started = time.Now()
 	j.cancel = cancel
@@ -450,8 +509,8 @@ func (s *Scheduler) runJob(j *job) {
 		return
 	}
 	release()
-	s.log.Info("job started", "job", j.id, "algo", j.req.Algo, "instance", j.req.Instance,
-		"workers", s.cfg.JobWorkers)
+	s.log.Info("job started", jobLogAttrs(j, "algo", j.req.Algo, "instance", j.req.Instance,
+		"workers", s.cfg.JobWorkers)...)
 
 	res, err := s.solve(ctx, inst, j.req, j.trace)
 	cancel()
@@ -472,8 +531,8 @@ func tracedAlgo(algo string) bool {
 // logFinished emits the terminal job-lifecycle log line. Called after the
 // job is terminal (its record is immutable), outside s.mu.
 func (s *Scheduler) logFinished(j *job) {
-	attrs := []any{"job", j.id, "status", string(j.status),
-		"duration", j.finished.Sub(j.started)}
+	attrs := jobLogAttrs(j, "status", string(j.status),
+		"duration", j.finished.Sub(j.started))
 	if j.result != nil {
 		attrs = append(attrs, "cover", len(j.result.Cover),
 			"passes", j.result.Passes, "space_words", j.result.SpaceWords)
@@ -530,6 +589,13 @@ func (s *Scheduler) finishLocked(j *job, res *SolveResult, err error) {
 			s.metrics.jobDuration.Observe(j.finished.Sub(j.started).Seconds())
 		}
 	}
+	// Close out the job's spans; the trace commits to the flight recorder
+	// here if the submitting HTTP request has already returned. Both Ends
+	// are idempotent, so the canceled-while-queued path (queue span already
+	// ended by runJob) is safe.
+	j.queueSpan.End()
+	j.span.SetAttr("status", string(j.status))
+	j.span.End()
 	j.release()
 	close(j.done)
 }
@@ -553,18 +619,23 @@ func (s *Scheduler) cacheStoreLocked(key string, res *SolveResult) {
 // honestly — when replay is disabled or the plan does not fit the budget.
 // Concurrent first solves may each build a plan; the registry keeps exactly
 // one and the losers serve their own copy for just their job.
-func (s *Scheduler) replayPlan(inst *streamcover.Instance, hash string) *streamcover.ReplayPlan {
+func (s *Scheduler) replayPlan(ctx context.Context, inst *streamcover.Instance, hash string) *streamcover.ReplayPlan {
 	if s.cfg.DisableReplay {
 		return nil
 	}
+	_, sp := trace.StartSpan(ctx, "plan")
+	defer sp.End()
 	if p, ok := s.reg.Plan(hash); ok {
 		plan, _ := p.(*streamcover.ReplayPlan)
+		sp.SetBool("reused", true)
 		return plan
 	}
 	plan, err := streamcover.BuildReplayPlan(inst)
 	if err != nil {
 		return nil
 	}
+	sp.SetBool("reused", false)
+	sp.SetInt64("bytes", int64(plan.Bytes()))
 	if !s.reg.AttachPlan(hash, plan, plan.Bytes()) {
 		if p, ok := s.reg.Plan(hash); ok {
 			// Lost a build race: use the attached winner.
@@ -586,6 +657,14 @@ func (s *Scheduler) solve(ctx context.Context, inst *streamcover.Instance, req S
 	if req.Workers > 0 && req.Workers < workers {
 		workers = req.Workers
 	}
+	ctx, sp := trace.StartSpan(ctx, "solve")
+	defer sp.End()
+	sp.SetAttr("algo", req.Algo)
+	sp.SetInt("workers", workers)
+	// Bridge the per-pass trace sink: each completed pass becomes one event
+	// on the solve span, reusing the drivers' existing single
+	// instrumentation point.
+	tr.setSpan(sp)
 	// A typed-nil recorder must become an untyped-nil sink, or the drivers
 	// would see a non-nil interface and trace into nothing.
 	var sink stream.TraceSink
@@ -609,7 +688,7 @@ func (s *Scheduler) solve(ctx context.Context, inst *streamcover.Instance, req S
 		if req.OptimumHint > 0 {
 			opts = append(opts, streamcover.WithOptimumHint(req.OptimumHint))
 		}
-		if plan := s.replayPlan(inst, req.Instance); plan != nil {
+		if plan := s.replayPlan(ctx, inst, req.Instance); plan != nil {
 			opts = append(opts, streamcover.WithReplayPlan(plan))
 		}
 		res, err := streamcover.SolveSetCover(inst, opts...)
@@ -820,5 +899,6 @@ func (j *job) snapshotLocked() Job {
 	if j.trace != nil {
 		out.Trace = j.trace.snapshot() // nil before the first pass completes
 	}
+	out.TraceID = j.traceID
 	return out
 }

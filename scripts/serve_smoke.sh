@@ -4,7 +4,10 @@
 # uploads a hardgen instance through `covercli -server`, solves it remotely,
 # and diffs the output byte for byte against a local in-process
 # SolveSetCover run with identical flags — the determinism-over-the-wire
-# contract. Finally it checks the daemon shuts down cleanly on SIGTERM.
+# contract. A tracing leg then solves under a known W3C traceparent and
+# asserts the trace ID surfaces in the access log, the job snapshot and the
+# debug listener's recent-trace list. Finally it checks the daemon shuts
+# down cleanly on SIGTERM.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,7 +30,9 @@ go build -o "$WORK/hardgen" ./cmd/hardgen
 	> "$WORK/hard.scb" 2> "$WORK/hardgen.truth"
 
 echo "serve-smoke: starting coverd on a random port"
-"$WORK/coverd" -addr 127.0.0.1:0 -addr-file "$WORK/addr" > "$WORK/coverd.log" 2>&1 &
+"$WORK/coverd" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
+	-log-requests -debug-addr 127.0.0.1:0 -debug-addr-file "$WORK/debug.addr" \
+	> "$WORK/coverd.log" 2>&1 &
 PID=$!
 for _ in $(seq 100); do
 	[ -s "$WORK/addr" ] && break
@@ -100,6 +105,60 @@ if command -v curl > /dev/null; then
 		exit 1
 	}
 	echo "serve-smoke: metrics OK (submitted $SUB_BEFORE -> $SUB_AFTER, passes $PASSES_BEFORE -> $PASSES_AFTER)"
+	echo "$AFTER" | grep -q '^coverd_build_info{' || {
+		echo "serve-smoke: FAIL — no coverd_build_info gauge in /metrics"
+		exit 1
+	}
+
+	# Tracing leg: solve under a known client traceparent; the trace ID must
+	# come back in the job snapshot, the access log, GET /v1/traces/{id} and
+	# the debug listener's recent-trace list — one ID across every plane.
+	TRACE_ID="4bf92f3577b34da6a3ce929d0e0e4736"
+	TRACEPARENT="00-$TRACE_ID-00f067aa0ba902b7-01"
+	DEBUG_ADDR="$(cat "$WORK/debug.addr")"
+	HASH="$(curl -fsS --data-binary @"$WORK/hard.scb" "http://$ADDR/v1/instances" \
+		| sed -n 's/.*"hash":"\([^"]*\)".*/\1/p')"
+	JOB="$(curl -fsS -H "traceparent: $TRACEPARENT" -H 'Content-Type: application/json' \
+		-d "{\"instance\":\"$HASH\",\"wait\":true,\"seed\":11}" "http://$ADDR/v1/solve")"
+	echo "$JOB" | grep -q "\"trace_id\":\"$TRACE_ID\"" || {
+		echo "serve-smoke: FAIL — job snapshot missing the propagated trace id: $JOB"
+		exit 1
+	}
+	# The root span ends just after the response bytes leave, so the trace
+	# can commit to the flight recorder a beat after curl returns.
+	TRACE_JSON=""
+	for _ in $(seq 50); do
+		TRACE_JSON="$(curl -fsS "http://$ADDR/v1/traces/$TRACE_ID" 2>/dev/null || true)"
+		[ -n "$TRACE_JSON" ] && break
+		sleep 0.1
+	done
+	for SPAN in admission queue pin plan solve; do
+		echo "$TRACE_JSON" | grep -q "\"name\":\"$SPAN\"" || {
+			echo "serve-smoke: FAIL — recorded trace missing span \"$SPAN\": $TRACE_JSON"
+			exit 1
+		}
+	done
+	echo "$TRACE_JSON" | grep -q '"name":"pass"' || {
+		echo "serve-smoke: FAIL — solve span has no per-pass events: $TRACE_JSON"
+		exit 1
+	}
+	curl -fsS "http://$DEBUG_ADDR/debug/traces" | grep -q "$TRACE_ID" || {
+		echo "serve-smoke: FAIL — trace id absent from /debug/traces"
+		exit 1
+	}
+	curl -fsS "http://$DEBUG_ADDR/debug/bundle" | grep -q '"stats"' || {
+		echo "serve-smoke: FAIL — /debug/bundle has no stats section"
+		exit 1
+	}
+	grep 'msg=request' "$WORK/coverd.log" | grep -q "trace_id=$TRACE_ID" || {
+		echo "serve-smoke: FAIL — access log missing trace_id=$TRACE_ID"
+		exit 1
+	}
+	grep 'msg="job finished"' "$WORK/coverd.log" | grep -q "trace_id=$TRACE_ID" || {
+		echo "serve-smoke: FAIL — job lifecycle log missing trace_id=$TRACE_ID"
+		exit 1
+	}
+	echo "serve-smoke: tracing OK (trace $TRACE_ID in job, access log, lifecycle log, recorder, debug endpoints)"
 fi
 
 echo "serve-smoke: asking coverd to shut down"
